@@ -1,0 +1,321 @@
+// Benchmarks regenerating every table/figure of the paper (see DESIGN.md
+// §5 for the experiment index E1–E15). Each benchmark reports the paper's
+// claimed quantity as custom metrics (msgs/m, rounds/D, normalized by the
+// claimed bound) so that `go test -bench=. -benchmem` reproduces Table 1's
+// shape directly.
+package ule
+
+import (
+	"math/rand"
+	"testing"
+
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/lowerbound"
+	"ule/internal/sim"
+)
+
+// benchElect runs one election per iteration and reports normalized
+// message/time metrics.
+func benchElect(b *testing.B, g *graph.Graph, algo string, d int, msgDenom, timeDenom float64, smallIDs bool, opt core.Options) {
+	b.Helper()
+	var msgs, rounds, succ float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i) + 1
+		var ids []int64
+		if smallIDs {
+			ids = sim.PermutationIDs(g.N(), rand.New(rand.NewSource(seed)))
+		}
+		res, err := core.Run(g, algo, core.RunOpts{
+			Seed: seed, IDs: ids, D: d, MaxRounds: 1 << 19, Opt: opt,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+		rounds += float64(res.LastActive)
+		if res.UniqueLeader() {
+			succ++
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(msgs/n/msgDenom, "msgs/bound")
+	b.ReportMetric(rounds/n/timeDenom, "rounds/bound")
+	b.ReportMetric(succ/n, "success")
+}
+
+func log2of(n int) float64 {
+	l := 1.0
+	for v := 2; v < n; v *= 2 {
+		l++
+	}
+	return l
+}
+
+func mustRandom(b *testing.B, n, m int, seed int64) *graph.Graph {
+	b.Helper()
+	g, err := graph.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// --- Lower bounds -----------------------------------------------------
+
+// BenchmarkLB_MessagesDumbbell (E1, Theorem 3.1): msgs/m on dumbbells must
+// stay >= a positive constant for every universal algorithm.
+func BenchmarkLB_MessagesDumbbell(b *testing.B) {
+	for _, algo := range []string{"leastel", "leastel-const", "flood", "kingdom"} {
+		b.Run(algo, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				db, kappa, err := lowerbound.DumbbellInstance(24, 200, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.Run(db.Graph, algo, core.RunOpts{
+					Seed: int64(i), IDs: sim.PermutationIDs(db.N(), rng),
+					D: 2*(24-kappa) + 1, MaxRounds: 1 << 19,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio += float64(res.Messages) / float64(db.M())
+			}
+			b.ReportMetric(ratio/float64(b.N), "msgs/m")
+		})
+	}
+}
+
+// BenchmarkLB_BridgeCrossing (E2, Lemma 3.5): messages precede the first
+// bridge crossing.
+func BenchmarkLB_BridgeCrossing(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var before, cross float64
+	for i := 0; i < b.N; i++ {
+		db, kappa, err := lowerbound.DumbbellInstance(24, 200, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(db.Graph, "leastel-const", core.RunOpts{
+			Seed: int64(i), IDs: sim.RandomIDs(db.N(), rng),
+			D: 2*(24-kappa) + 1, MaxRounds: 1 << 19, WatchEdges: db.Bridges[:],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before += float64(res.MessagesBeforeCrossing)
+		for _, r := range res.FirstCrossing {
+			cross += float64(r) / 2
+		}
+	}
+	b.ReportMetric(before/float64(b.N), "msgsBeforeCross")
+	b.ReportMetric(cross/float64(b.N), "crossRound")
+}
+
+// BenchmarkLB_TimeCliqueCycle (E3, Theorem 3.13 / Figure 1): rounds/D on
+// the clique-cycle stays >= a positive constant.
+func BenchmarkLB_TimeCliqueCycle(b *testing.B) {
+	for _, algo := range []string{"leastel", "flood", "lasvegas"} {
+		b.Run(algo, func(b *testing.B) {
+			cc, err := graph.NewCliqueCycle(96, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := cc.DiameterExact()
+			benchElect(b, cc.Graph, algo, d, float64(cc.M()), float64(d), false, core.Options{})
+		})
+	}
+}
+
+// BenchmarkTrivialSuccess (E4, §1): zero messages, ~1/e success.
+func BenchmarkTrivialSuccess(b *testing.B) {
+	g := graph.Ring(256)
+	var succ float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(g, "trivial", core.RunOpts{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UniqueLeader() {
+			succ++
+		}
+	}
+	b.ReportMetric(succ/float64(b.N), "success")
+}
+
+// BenchmarkLB_Broadcast (E5, Corollary 3.12): flooding broadcast pays
+// Θ(m) messages on dumbbells.
+func BenchmarkLB_Broadcast(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	row, err := lowerbound.BroadcastLB(24, 200, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = row
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := lowerbound.BroadcastLB(24, 200, 1, rng.Int63())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio += r.MsgsPerM.Mean
+	}
+	b.ReportMetric(ratio/float64(b.N), "msgs/m")
+}
+
+// --- Upper bounds (one per Table 1 row) -------------------------------
+
+// BenchmarkThm41_DFS (E6): O(m) messages.
+func BenchmarkThm41_DFS(b *testing.B) {
+	g := mustRandom(b, 96, 400, 2)
+	benchElect(b, g, "dfs", 0, float64(g.M()), 1, true, core.Options{})
+}
+
+// BenchmarkThm44_LeastEl (E7): O(m·min(log f, D)) messages, O(D) time.
+func BenchmarkThm44_LeastEl(b *testing.B) {
+	g := mustRandom(b, 256, 1500, 3)
+	d := g.DiameterExact()
+	benchElect(b, g, "leastel", d, float64(g.M())*log2of(g.N()), float64(d), false, core.Options{})
+}
+
+// BenchmarkThm44A (E8): O(m·log log n) messages.
+func BenchmarkThm44A(b *testing.B) {
+	g := mustRandom(b, 256, 1500, 3)
+	d := g.DiameterExact()
+	benchElect(b, g, "leastel-loglog", d, float64(g.M())*log2of(int(log2of(g.N()))), float64(d), false, core.Options{})
+}
+
+// BenchmarkThm44B (E9): O(m) messages, success >= 1-eps.
+func BenchmarkThm44B(b *testing.B) {
+	g := mustRandom(b, 256, 1500, 3)
+	d := g.DiameterExact()
+	benchElect(b, g, "leastel-const", d, float64(g.M()), float64(d), false, core.Options{Epsilon: 0.1})
+}
+
+// BenchmarkCor42_Spanner (E10): O(m) messages and O(D) time on dense
+// graphs (m ≈ n^1.75 here).
+func BenchmarkCor42_Spanner(b *testing.B) {
+	n := 128
+	g := mustRandom(b, n, n*(n-1)/4, 4)
+	d := g.DiameterExact()
+	benchElect(b, g, "spanner-le", d, float64(g.M()), float64(d), false, core.Options{SpannerK: 2})
+}
+
+// BenchmarkCor45_Estimate (E11): no knowledge of n, O(m·log n) messages.
+func BenchmarkCor45_Estimate(b *testing.B) {
+	g := mustRandom(b, 256, 1200, 5)
+	d := g.DiameterExact()
+	benchElect(b, g, "leastel-estimate", d, float64(g.M())*log2of(g.N()), float64(d), false, core.Options{})
+}
+
+// BenchmarkCor46_LasVegas (E12): expected O(m) messages and O(D) time.
+func BenchmarkCor46_LasVegas(b *testing.B) {
+	g := graph.Ring(128)
+	benchElect(b, g, "lasvegas", 64, float64(g.M()), 64, false, core.Options{})
+}
+
+// BenchmarkThm47_Cluster (E13): O(m + n·log n) messages, O(D·log n) time.
+func BenchmarkThm47_Cluster(b *testing.B) {
+	g := mustRandom(b, 256, 1500, 6)
+	d := g.DiameterExact()
+	denom := float64(g.M()) + float64(g.N())*log2of(g.N())
+	benchElect(b, g, "cluster", d, denom, float64(d)*log2of(g.N()), false, core.Options{})
+}
+
+// BenchmarkThm410_Kingdom (E14): O(m·log n) messages, O(D·log n) time,
+// deterministic, no knowledge.
+func BenchmarkThm410_Kingdom(b *testing.B) {
+	g := mustRandom(b, 192, 800, 7)
+	d := g.DiameterExact()
+	benchElect(b, g, "kingdom", d, float64(g.M())*log2of(g.N()), float64(d)*log2of(g.N()), true, core.Options{})
+}
+
+// BenchmarkTable1 (E15): head-to-head on one graph; raw msgs/m and rounds.
+func BenchmarkTable1(b *testing.B) {
+	g := mustRandom(b, 128, 640, 8)
+	d := g.DiameterExact()
+	for _, algo := range core.Names() {
+		b.Run(algo, func(b *testing.B) {
+			benchElect(b, g, algo, d, float64(g.M()), float64(d), true, core.Options{})
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ------------------------------------------
+
+// BenchmarkAblation_CandidateSampling sweeps the success/message trade-off
+// of f(n) — the paper's §5 open question about the precise trade-off.
+func BenchmarkAblation_CandidateSampling(b *testing.B) {
+	g := mustRandom(b, 256, 1024, 9)
+	for _, fscale := range []float64{0.5, 1, 2, 4} {
+		b.Run(fscaleName(fscale), func(b *testing.B) {
+			benchElect(b, g, "leastel-const", 0, float64(g.M()), 1, false,
+				core.Options{Epsilon: 0.1, FScale: fscale})
+		})
+	}
+}
+
+func fscaleName(f float64) string {
+	switch {
+	case f < 1:
+		return "f-half"
+	case f == 1:
+		return "f-1x"
+	case f == 2:
+		return "f-2x"
+	default:
+		return "f-4x"
+	}
+}
+
+// BenchmarkAblation_SpannerK sweeps the Baswana–Sen parameter: larger k
+// means a sparser spanner but more construction rounds and stretch.
+func BenchmarkAblation_SpannerK(b *testing.B) {
+	n := 128
+	g := mustRandom(b, n, n*(n-1)/4, 10)
+	d := g.DiameterExact()
+	for _, k := range []int{2, 3, 4} {
+		b.Run(string(rune('0'+k)), func(b *testing.B) {
+			benchElect(b, g, "spanner-le", d, float64(g.M()), float64(d), false, core.Options{SpannerK: k})
+		})
+	}
+}
+
+// BenchmarkEngineParallel compares the sequential and goroutine engines on
+// a large instance (identical results, different wall-clock).
+func BenchmarkEngineParallel(b *testing.B) {
+	g := mustRandom(b, 1024, 8192, 11)
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, "leastel", core.RunOpts{
+					Seed: int64(i), Parallel: par, MaxRounds: 1 << 18,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.UniqueLeader() {
+					b.Fatal("election failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed (node-rounds/s).
+func BenchmarkEngineThroughput(b *testing.B) {
+	g := graph.Torus(32, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(g, "leastel-const", core.RunOpts{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

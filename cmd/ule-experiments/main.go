@@ -1,0 +1,474 @@
+// Command ule-experiments regenerates every table and figure of the
+// paper's evaluation as markdown tables (the source of EXPERIMENTS.md):
+//
+//	E1  Theorem 3.1   Ω(m) messages on dumbbells (all algorithms)
+//	E2  Lemma 3.5     bridge-crossing instrument
+//	E3  Theorem 3.13  Ω(D) time on clique-cycles (Figure 1) + truncation
+//	E4  §1            trivial 1/n algorithm success ≈ 1/e
+//	E5  Cor 3.12      Ω(m) broadcast on dumbbells
+//	E6–E14            one upper-bound sweep per Table 1 row
+//	E15 Table 1       head-to-head synthesis on a common graph set
+//
+// Use -quick for a reduced sweep (CI-sized), -csv for machine output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/lowerbound"
+	"ule/internal/sim"
+	"ule/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ule-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type harness struct {
+	quick  bool
+	seed   int64
+	trials int
+	csv    bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ule-experiments", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "reduced sweep sizes")
+		seed  = fs.Int64("seed", 42, "base seed")
+		csv   = fs.Bool("csv", false, "emit CSV instead of markdown")
+		only  = fs.String("only", "", "run a single experiment id (e.g. E3)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := &harness{quick: *quick, seed: *seed, trials: 10, csv: *csv}
+	if *quick {
+		h.trials = 3
+	}
+	type exp struct {
+		id  string
+		fn  func() (*stats.Table, error)
+		ann string
+	}
+	exps := []exp{
+		{"E1", h.e1MessageLB, "Thm 3.1: every universal algorithm pays Ω(m) messages on dumbbells (msgs/m stays ≥ ~1 as m grows)"},
+		{"E2", h.e2Bridge, "Lemma 3.5: elections must cross a bridge; messages precede the crossing"},
+		{"E3", h.e3TimeLB, "Thm 3.13 / Fig. 1: rounds/D stays ≥ ~1 on clique-cycles; truncated budgets kill success"},
+		{"E4", h.e4Trivial, "§1: the 1/n self-election succeeds w.p. ≈ 1/e at zero messages"},
+		{"E5", h.e5Broadcast, "Cor 3.12: flooding broadcast costs Θ(m) (≈2 msgs/edge) on dumbbells"},
+		{"E6", h.e6DFS, "Thm 4.1: msgs/m bounded by a constant; time grows exponentially with min ID"},
+		{"E7", h.e7LeastElF, "Thm 4.4: messages scale with m·log f(n); success rises with f(n)"},
+		{"E8", h.e8LogLog, "Thm 4.4.(A): msgs/(m·log log n) bounded, success whp"},
+		{"E9", h.e9Const, "Thm 4.4.(B): msgs/m bounded; success ≥ 1−ε across ε"},
+		{"E10", h.e10Spanner, "Cor 4.2: on dense graphs spanner+LE gets O(m) msgs and O(D) time"},
+		{"E11", h.e11Estimate, "Cor 4.5: no knowledge of n; msgs/(m·log n) bounded; prob 1"},
+		{"E12", h.e12LasVegas, "Cor 4.6: expected O(D) time / O(m) msgs with restarts"},
+		{"E13", h.e13Cluster, "Thm 4.7: msgs/(m+n log n) bounded; time O(D log n)"},
+		{"E14", h.e14Kingdom, "Thm 4.10: deterministic, msgs/(m log n) and rounds/(D log n) bounded"},
+		{"E15", h.e15Table1, "Table 1 head-to-head on a common graph"},
+	}
+	for _, e := range exps {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		t, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if h.csv {
+			fmt.Printf("# %s\n%s\n", e.id, t.CSV())
+		} else {
+			fmt.Printf("%s\n*%s*\n\n", t.Markdown(), e.ann)
+		}
+	}
+	return nil
+}
+
+func (h *harness) sizes(quickSizes, fullSizes []int) []int {
+	if h.quick {
+		return quickSizes
+	}
+	return fullSizes
+}
+
+// e1: Ω(m) message lower bound across algorithms and densities.
+func (h *harness) e1MessageLB() (*stats.Table, error) {
+	t := stats.NewTable("E1 — Thm 3.1: messages/m on dumbbell graphs",
+		"algo", "n(total)", "m(total)", "D", "msgs/m min", "msgs/m mean", "success")
+	algos := []string{"leastel", "leastel-const", "flood", "cluster", "kingdom", "lasvegas", "leastel-estimate"}
+	type sz struct{ n, m int }
+	var cfgs []sz
+	if h.quick {
+		cfgs = []sz{{16, 60}, {24, 140}}
+	} else {
+		cfgs = []sz{{16, 60}, {24, 140}, {32, 300}, {48, 700}, {64, 1200}}
+	}
+	for _, algo := range algos {
+		for _, cfg := range cfgs {
+			row, err := lowerbound.MessageLB(cfg.n, cfg.m, lowerbound.Sweep{
+				Algo: algo, Trials: h.trials, Seed: h.seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(algo, 2*cfg.n, 2*cfg.m, row.D, row.MsgsPerM.Min, row.MsgsPerM.Mean, row.SuccessRate)
+		}
+	}
+	return t, nil
+}
+
+func (h *harness) e2Bridge() (*stats.Table, error) {
+	t := stats.NewTable("E2 — Lemma 3.5: bridge crossing instrument (dumbbells)",
+		"algo", "n(total)", "m(total)", "cross round mean", "msgs before cross mean", "success")
+	for _, algo := range []string{"leastel", "leastel-const", "kingdom"} {
+		for _, cfg := range [][2]int{{16, 100}, {32, 300}} {
+			row, err := lowerbound.MessageLB(cfg[0], cfg[1], lowerbound.Sweep{
+				Algo: algo, Trials: h.trials, Seed: h.seed + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(algo, 2*cfg[0], 2*cfg[1], row.CrossRound.Mean, row.BeforeCross.Mean, row.SuccessRate)
+		}
+	}
+	return t, nil
+}
+
+func (h *harness) e3TimeLB() (*stats.Table, error) {
+	t := stats.NewTable("E3 — Thm 3.13 / Figure 1: rounds/D on clique-cycles + truncated budgets",
+		"algo", "n", "D", "rounds/D min", "rounds/D mean", "success", "succ@0.25D", "succ@0.5D")
+	ds := h.sizes([]int{8, 16}, []int{8, 16, 32, 64})
+	for _, algo := range []string{"leastel", "flood", "lasvegas", "kingdom-d"} {
+		for _, d := range ds {
+			row, err := lowerbound.TimeLB(4*d, d, lowerbound.Sweep{Algo: algo, Trials: h.trials, Seed: h.seed})
+			if err != nil {
+				return nil, err
+			}
+			t25, err := lowerbound.TruncatedSuccess(4*d, d, 0.25, lowerbound.Sweep{Algo: algo, Trials: h.trials, Seed: h.seed})
+			if err != nil {
+				return nil, err
+			}
+			t50, err := lowerbound.TruncatedSuccess(4*d, d, 0.5, lowerbound.Sweep{Algo: algo, Trials: h.trials, Seed: h.seed})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(algo, row.N, row.D, row.RoundsPerD.Min, row.RoundsPerD.Mean,
+				row.SuccessRate, t25.SuccessRate, t50.SuccessRate)
+		}
+	}
+	return t, nil
+}
+
+func (h *harness) e4Trivial() (*stats.Table, error) {
+	t := stats.NewTable("E4 — §1: the zero-message 1/n self-election",
+		"n", "trials", "success", "1/e", "messages")
+	trials := 2000
+	if h.quick {
+		trials = 300
+	}
+	for _, n := range h.sizes([]int{64}, []int{32, 64, 128, 256, 512}) {
+		row, err := lowerbound.TrivialSuccess(n, trials, h.seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, row.Trials, row.SuccessRate, 0.368, row.Messages)
+	}
+	return t, nil
+}
+
+func (h *harness) e5Broadcast() (*stats.Table, error) {
+	t := stats.NewTable("E5 — Cor 3.12: flooding broadcast messages/m on dumbbells",
+		"n(total)", "m(total)", "msgs/m mean", "majority ok", "rounds mean")
+	type sz struct{ n, m int }
+	var cfgs []sz
+	if h.quick {
+		cfgs = []sz{{16, 60}}
+	} else {
+		cfgs = []sz{{16, 60}, {24, 140}, {32, 300}, {64, 1200}}
+	}
+	for _, cfg := range cfgs {
+		row, err := lowerbound.BroadcastLB(cfg.n, cfg.m, h.trials, h.seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row.N, 2*cfg.m, row.MsgsPerM.Mean, row.MajorityOK, row.MeanRounds)
+	}
+	return t, nil
+}
+
+// sweepRow runs an algorithm over trials on one graph and returns the
+// per-trial message and active-round summaries plus the success rate.
+func (h *harness) sweepRow(g *graph.Graph, algo string, d int, opt core.Options, smallIDs bool) (stats.Summary, stats.Summary, float64, error) {
+	var msgs, rounds []float64
+	succ := 0
+	for i := 0; i < h.trials; i++ {
+		s := h.seed + int64(i)*7919
+		var ids []int64
+		if smallIDs {
+			ids = sim.PermutationIDs(g.N(), rand.New(rand.NewSource(s))) //nolint:gosec
+		}
+		res, err := core.Run(g, algo, core.RunOpts{
+			Seed: s, IDs: ids, D: d, MaxRounds: 1 << 18, Opt: opt,
+		})
+		if err != nil {
+			return stats.Summary{}, stats.Summary{}, 0, err
+		}
+		msgs = append(msgs, float64(res.Messages))
+		rounds = append(rounds, float64(res.LastActive))
+		if res.UniqueLeader() {
+			succ++
+		}
+	}
+	return stats.Summarize(msgs), stats.Summarize(rounds), float64(succ) / float64(h.trials), nil
+}
+
+func log2f(n int) float64 {
+	l := 1.0
+	for v := 2; v < n; v *= 2 {
+		l++
+	}
+	return l
+}
+
+func (h *harness) e6DFS() (*stats.Table, error) {
+	t := stats.NewTable("E6 — Thm 4.1: DFS election messages/m and exponential time in min ID",
+		"graph", "n", "m", "msgs/m mean", "rounds (minID=1)", "rounds (minID=3)", "rounds (minID=5)")
+	rng := rand.New(rand.NewSource(h.seed))
+	for _, n := range h.sizes([]int{24}, []int{24, 48, 96}) {
+		g, err := graph.RandomConnected(n, 4*n, rng)
+		if err != nil {
+			return nil, err
+		}
+		ms, _, _, err := h.sweepRow(g, "dfs", 0, core.Options{}, true)
+		if err != nil {
+			return nil, err
+		}
+		var at [3]float64
+		for i, minID := range []int64{1, 3, 5} {
+			res, err := core.Run(g, "dfs", core.RunOpts{
+				Seed: h.seed, IDs: sim.SequentialIDs(n, minID), MaxRounds: 1 << 19,
+			})
+			if err != nil {
+				return nil, err
+			}
+			at[i] = float64(res.Rounds)
+		}
+		t.AddRow("random", n, g.M(), ms.Mean/float64(g.M()), at[0], at[1], at[2])
+	}
+	return t, nil
+}
+
+func (h *harness) e7LeastElF() (*stats.Table, error) {
+	t := stats.NewTable("E7 — Thm 4.4: messages and success vs candidate budget f(n)",
+		"f(n)", "n", "m", "msgs mean", "msgs/m", "rounds mean", "success")
+	rng := rand.New(rand.NewSource(h.seed + 2))
+	n := 256
+	if h.quick {
+		n = 96
+	}
+	g, err := graph.RandomConnected(n, 6*n, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range []struct {
+		label string
+		algo  string
+		opt   core.Options
+	}{
+		{"n (all)", "leastel", core.Options{}},
+		{"log n", "leastel-loglog", core.Options{}},
+		{"4ln(1/0.1)", "leastel-const", core.Options{Epsilon: 0.1}},
+		{"4ln(1/0.5)", "leastel-const", core.Options{Epsilon: 0.5}},
+	} {
+		ms, rs, succ, err := h.sweepRow(g, row.algo, 0, row.opt, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row.label, n, g.M(), ms.Mean, ms.Mean/float64(g.M()), rs.Mean, succ)
+	}
+	return t, nil
+}
+
+func (h *harness) e8LogLog() (*stats.Table, error) {
+	t := stats.NewTable("E8 — Thm 4.4.(A): msgs/(m·log log n) with f(n)=log n",
+		"n", "m", "msgs mean", "msgs/(m·loglog n)", "rounds/D", "success")
+	rng := rand.New(rand.NewSource(h.seed + 3))
+	for _, n := range h.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
+		g, err := graph.RandomConnected(n, 5*n, rng)
+		if err != nil {
+			return nil, err
+		}
+		d := g.DiameterExact()
+		ms, rs, succ, err := h.sweepRow(g, "leastel-loglog", d, core.Options{}, false)
+		if err != nil {
+			return nil, err
+		}
+		ll := log2f(int(log2f(n)))
+		t.AddRow(n, g.M(), ms.Mean, ms.Mean/(float64(g.M())*ll), rs.Mean/float64(d), succ)
+	}
+	return t, nil
+}
+
+func (h *harness) e9Const() (*stats.Table, error) {
+	t := stats.NewTable("E9 — Thm 4.4.(B): O(m) messages with success ≥ 1−ε",
+		"epsilon", "n", "m", "msgs/m", "success", "target ≥")
+	rng := rand.New(rand.NewSource(h.seed + 4))
+	n := 256
+	if h.quick {
+		n = 96
+	}
+	g, err := graph.RandomConnected(n, 4*n, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, eps := range []float64{0.25, 0.1, 0.01} {
+		ms, _, succ, err := h.sweepRow(g, "leastel-const", 0, core.Options{Epsilon: eps}, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(eps, n, g.M(), ms.Mean/float64(g.M()), succ, 1-eps)
+	}
+	return t, nil
+}
+
+func (h *harness) e10Spanner() (*stats.Table, error) {
+	t := stats.NewTable("E10 — Cor 4.2: spanner+LE vs plain LE on dense graphs (m ≈ n^1.5)",
+		"n", "m", "algo", "msgs/m", "rounds/D", "success")
+	rng := rand.New(rand.NewSource(h.seed + 5))
+	for _, n := range h.sizes([]int{64}, []int{64, 144, 256, 400}) {
+		m := n * isqrt(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.RandomConnected(n, m, rng)
+		if err != nil {
+			return nil, err
+		}
+		d := g.DiameterExact()
+		for _, algo := range []string{"spanner-le", "leastel"} {
+			ms, rs, succ, err := h.sweepRow(g, algo, d, core.Options{Epsilon: 0.5}, false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, g.M(), algo, ms.Mean/float64(g.M()), rs.Mean/float64(d), succ)
+		}
+	}
+	return t, nil
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r <= n {
+		r++
+	}
+	return r - 1
+}
+
+func (h *harness) e11Estimate() (*stats.Table, error) {
+	t := stats.NewTable("E11 — Cor 4.5: no knowledge of n; msgs/(m·log n) bounded",
+		"n", "m", "msgs/(m·log n)", "rounds/D", "success")
+	rng := rand.New(rand.NewSource(h.seed + 6))
+	for _, n := range h.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
+		g, err := graph.RandomConnected(n, 4*n, rng)
+		if err != nil {
+			return nil, err
+		}
+		d := g.DiameterExact()
+		ms, rs, succ, err := h.sweepRow(g, "leastel-estimate", d, core.Options{}, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, g.M(), ms.Mean/(float64(g.M())*log2f(n)), rs.Mean/float64(d), succ)
+	}
+	return t, nil
+}
+
+func (h *harness) e12LasVegas() (*stats.Table, error) {
+	t := stats.NewTable("E12 — Cor 4.6: Las Vegas with knowledge of n and D",
+		"graph", "n", "D", "msgs/m", "rounds/D", "success")
+	for _, n := range h.sizes([]int{32}, []int{32, 64, 128, 256}) {
+		g := graph.Ring(n)
+		d := n / 2
+		ms, rs, succ, err := h.sweepRow(g, "lasvegas", d, core.Options{}, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("ring", n, d, ms.Mean/float64(g.M()), rs.Mean/float64(d), succ)
+	}
+	return t, nil
+}
+
+func (h *harness) e13Cluster() (*stats.Table, error) {
+	t := stats.NewTable("E13 — Thm 4.7: clustering algorithm O(m+n log n) msgs, O(D log n) time",
+		"n", "m", "msgs/(m+n·log n)", "rounds/(D·log n)", "success")
+	rng := rand.New(rand.NewSource(h.seed + 7))
+	for _, n := range h.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
+		g, err := graph.RandomConnected(n, 6*n, rng)
+		if err != nil {
+			return nil, err
+		}
+		d := g.DiameterExact()
+		ms, rs, succ, err := h.sweepRow(g, "cluster", d, core.Options{}, false)
+		if err != nil {
+			return nil, err
+		}
+		denom := float64(g.M()) + float64(n)*log2f(n)
+		t.AddRow(n, g.M(), ms.Mean/denom, rs.Mean/(float64(d)*log2f(n)), succ)
+	}
+	return t, nil
+}
+
+func (h *harness) e14Kingdom() (*stats.Table, error) {
+	t := stats.NewTable("E14 — Thm 4.10: growing kingdoms, deterministic, no knowledge",
+		"variant", "n", "m", "msgs/(m·log n)", "rounds/(D·log n)", "success")
+	rng := rand.New(rand.NewSource(h.seed + 8))
+	for _, n := range h.sizes([]int{48}, []int{48, 96, 192, 384}) {
+		g, err := graph.RandomConnected(n, 4*n, rng)
+		if err != nil {
+			return nil, err
+		}
+		d := g.DiameterExact()
+		for _, algo := range []string{"kingdom", "kingdom-d"} {
+			ms, rs, succ, err := h.sweepRow(g, algo, d, core.Options{}, true)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(algo, n, g.M(), ms.Mean/(float64(g.M())*log2f(n)),
+				rs.Mean/(float64(d)*log2f(n)), succ)
+		}
+	}
+	return t, nil
+}
+
+func (h *harness) e15Table1() (*stats.Table, error) {
+	t := stats.NewTable("E15 — Table 1 head-to-head (random graph)",
+		"algo", "paper row", "msgs mean", "msgs/m", "rounds mean", "success")
+	rng := rand.New(rand.NewSource(h.seed + 9))
+	n := 200
+	if h.quick {
+		n = 80
+	}
+	g, err := graph.RandomConnected(n, 5*n, rng)
+	if err != nil {
+		return nil, err
+	}
+	d := g.DiameterExact()
+	for _, algo := range core.Names() {
+		spec := core.MustGet(algo)
+		ms, rs, succ, err := h.sweepRow(g, algo, d, core.Options{}, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(algo, spec.Result, ms.Mean, ms.Mean/float64(g.M()), rs.Mean, succ)
+	}
+	return t, nil
+}

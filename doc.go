@@ -1,0 +1,10 @@
+// Package ule is a from-scratch Go reproduction of "On the Complexity of
+// Universal Leader Election" (Kutten, Pandurangan, Peleg, Robinson, Trehan;
+// PODC 2013 / JACM 62(1), 2015): a synchronous CONGEST/LOCAL network
+// simulator, every algorithm of the paper's Table 1, both lower-bound graph
+// constructions, and benchmark harnesses that regenerate each claimed
+// complexity shape.
+//
+// Start with the public API in ule/election; the per-experiment benchmarks
+// live in bench_test.go at this root.
+package ule

@@ -1,0 +1,160 @@
+// Package election is the public API of the universal leader election
+// library: a reproduction of "On the Complexity of Universal Leader
+// Election" (Kutten, Pandurangan, Peleg, Robinson, Trehan; PODC 2013 /
+// JACM 2015).
+//
+// It exposes the synchronous CONGEST/LOCAL network simulator, the paper's
+// graph families (including the dumbbell and clique-cycle lower-bound
+// constructions), and every algorithm of Table 1 behind a string registry:
+//
+//	g := election.Ring(64)
+//	res, err := election.Elect(g, "leastel", election.Params{Seed: 1})
+//	if res.UniqueLeader() { ... }
+//
+// Use Algorithms to list the registry and Describe for the paper result
+// each name realizes. Custom protocols can be written against the
+// simulator types re-exported here (Protocol, Process, Context) and run
+// with Run.
+package election
+
+import (
+	"math/rand"
+
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/sim"
+)
+
+// Re-exported simulator types: everything needed to implement and run a
+// custom synchronous message-passing protocol.
+type (
+	// Graph is a port-numbered undirected network.
+	Graph = graph.Graph
+	// Result summarizes a run (messages, rounds, statuses, instruments).
+	Result = sim.Result
+	// Status is a node's election output (Leader / NonLeader / Undecided).
+	Status = sim.Status
+	// Knowledge declares the a-priori known parameters of a run.
+	Knowledge = sim.Knowledge
+	// Config is the low-level simulator configuration for Run.
+	Config = sim.Config
+	// Protocol, Process, Context and Message are the extension points for
+	// user-defined algorithms.
+	Protocol = sim.Protocol
+	Process  = sim.Process
+	Context  = sim.Context
+	Message  = sim.Message
+	// NodeInfo is the static per-node information handed to Protocol.New.
+	NodeInfo = sim.NodeInfo
+	// Payload is the CONGEST-accounted message content interface.
+	Payload = sim.Payload
+	// Options tunes the paper's algorithms (candidate budgets, ε, k, …).
+	Options = core.Options
+)
+
+// Statuses.
+const (
+	Undecided = sim.Undecided
+	Leader    = sim.Leader
+	NonLeader = sim.NonLeader
+)
+
+// Communication models.
+const (
+	CONGEST = sim.CONGEST
+	LOCAL   = sim.LOCAL
+)
+
+// WakeOnMessage marks a node that sleeps until the first message arrives.
+const WakeOnMessage = sim.WakeOnMessage
+
+// Graph family constructors (see internal/graph for details).
+var (
+	Path     = graph.Path
+	Ring     = graph.Ring
+	Star     = graph.Star
+	Complete = graph.Complete
+	Grid     = graph.Grid
+	Torus    = graph.Torus
+	// Hypercube builds the d-dimensional hypercube on 2^d nodes.
+	Hypercube = graph.Hypercube
+	// RandomConnected builds a connected graph with exactly n nodes and m
+	// edges.
+	RandomConnected = graph.RandomConnected
+	// NewFromEdges builds a graph from an explicit edge list.
+	NewFromEdges = graph.NewFromEdges
+	// NewLollipop and NewDumbbell build the Theorem 3.1 lower-bound
+	// family; NewCliqueCycle builds the Figure 1 construction.
+	NewLollipop    = graph.NewLollipop
+	NewDumbbell    = graph.NewDumbbell
+	NewCliqueCycle = graph.NewCliqueCycle
+)
+
+// ID assignment helpers.
+var (
+	// RandomIDs draws n distinct identifiers from [1, n^4].
+	RandomIDs = sim.RandomIDs
+	// PermutationIDs assigns 1..n in random order.
+	PermutationIDs = sim.PermutationIDs
+	// SequentialIDs assigns base..base+n-1 in node order.
+	SequentialIDs = sim.SequentialIDs
+)
+
+// Params configures one election run.
+type Params struct {
+	// Seed drives ID assignment and all node coins (default 0).
+	Seed int64
+	// IDs overrides the generated assignment; nil draws RandomIDs.
+	IDs []int64
+	// Anonymous removes identifiers (randomized algorithms only).
+	Anonymous bool
+	// D passes the known diameter (0 = compute exactly when required).
+	D int
+	// MaxRounds bounds the run (0 = simulator default).
+	MaxRounds int
+	// Local switches to the LOCAL model (unbounded messages).
+	Local bool
+	// Parallel uses the multi-core engine.
+	Parallel bool
+	// Wake is the wake-up schedule (nil = simultaneous round 1).
+	Wake []int
+	// Opt tunes algorithm parameters.
+	Opt Options
+}
+
+// Elect runs the named algorithm (see Algorithms) on g.
+func Elect(g *Graph, algorithm string, p Params) (*Result, error) {
+	mode := sim.CONGEST
+	if p.Local {
+		mode = sim.LOCAL
+	}
+	return core.Run(g, algorithm, core.RunOpts{
+		Seed:      p.Seed,
+		IDs:       p.IDs,
+		Anonymous: p.Anonymous,
+		D:         p.D,
+		MaxRounds: p.MaxRounds,
+		Mode:      mode,
+		Parallel:  p.Parallel,
+		Wake:      p.Wake,
+		Opt:       p.Opt,
+	})
+}
+
+// Run executes an arbitrary protocol under the low-level simulator
+// configuration; use it for custom protocols built on the re-exported
+// simulator types.
+func Run(cfg Config, proto Protocol) (*Result, error) {
+	return sim.Run(cfg, proto)
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func Algorithms() []string { return core.Names() }
+
+// Describe returns a one-line description (paper result + summary) of a
+// registered algorithm.
+func Describe(name string) (string, error) { return core.Describe(name) }
+
+// NewRand returns a seeded rand.Rand for graph/ID generation, so that
+// examples and downstream code reproduce exactly.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,105 @@
+package election_test
+
+import (
+	"strings"
+	"testing"
+
+	"ule/election"
+)
+
+func TestElectQuickstart(t *testing.T) {
+	g := election.Ring(32)
+	res, err := election.Elect(g, "leastel", election.Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UniqueLeader() {
+		t.Fatal("no unique leader")
+	}
+	if res.Leaders[0] < 0 || res.Leaders[0] >= g.N() {
+		t.Fatal("leader index out of range")
+	}
+}
+
+func TestAlgorithmsRegistryExposed(t *testing.T) {
+	names := election.Algorithms()
+	want := []string{"leastel", "dfs", "kingdom", "cluster", "spanner-le",
+		"lasvegas", "leastel-estimate", "flood", "trivial"}
+	have := strings.Join(names, " ")
+	for _, w := range want {
+		if !strings.Contains(have, w) {
+			t.Errorf("registry missing %q (have %v)", w, names)
+		}
+	}
+	for _, n := range names {
+		if _, err := election.Describe(n); err != nil {
+			t.Errorf("Describe(%q): %v", n, err)
+		}
+	}
+}
+
+func TestElectEveryRegisteredAlgorithm(t *testing.T) {
+	g := election.Hypercube(4)
+	for _, algo := range election.Algorithms() {
+		ids := election.PermutationIDs(g.N(), election.NewRand(3))
+		res, err := election.Elect(g, algo, election.Params{Seed: 3, IDs: ids, MaxRounds: 1 << 16})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if algo != "trivial" && res.LeaderCount() > 1 {
+			t.Errorf("%s: %d leaders", algo, res.LeaderCount())
+		}
+	}
+}
+
+func TestLocalModeAndParallel(t *testing.T) {
+	g := election.Torus(5, 5)
+	a, err := election.Elect(g, "leastel", election.Params{Seed: 2, Local: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := election.Elect(g, "leastel", election.Params{Seed: 2, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || !a.UniqueLeader() || !b.UniqueLeader() {
+		t.Errorf("LOCAL/parallel runs diverge: %d vs %d msgs", a.Messages, b.Messages)
+	}
+}
+
+// TestCustomProtocol verifies the simulator extension point: a user-defined
+// protocol written purely against the public facade.
+type pingPayload struct{}
+
+func (pingPayload) Bits() int { return 1 }
+
+type pingProto struct{}
+
+func (pingProto) Name() string { return "ping" }
+func (pingProto) New(info election.NodeInfo) election.Process {
+	return &pingProc{}
+}
+
+type pingProc struct{ done bool }
+
+func (p *pingProc) Start(c *election.Context) {}
+func (p *pingProc) Round(c *election.Context, inbox []election.Message) {
+	if !p.done {
+		c.Broadcast(pingPayload{})
+		c.Decide(election.NonLeader)
+		p.done = true
+		return
+	}
+	c.Halt()
+}
+
+func TestCustomProtocol(t *testing.T) {
+	g := election.Ring(8)
+	res, err := election.Run(election.Config{Graph: g, Seed: 1, MaxRounds: 10}, pingProto{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 16 {
+		t.Errorf("messages = %d, want 16", res.Messages)
+	}
+}

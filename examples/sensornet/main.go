@@ -1,0 +1,47 @@
+// Sensornet: the paper's motivating scenario — energy-constrained sensor
+// grids where every transmitted message costs battery. Compares the message
+// bill of the Table 1 algorithms on a 2D sensor grid and shows why the
+// Theorem 4.4.(B) sampler (O(m) messages) is the right choice when radios
+// dominate the energy budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ule/election"
+)
+
+// joulesPerMessage is a toy radio cost model: ~50 µJ per short packet.
+const joulesPerMessage = 50e-6
+
+func main() {
+	// A 24x24 sensor field with wraparound links (torus keeps the diameter
+	// small, as in a deployment with long-range corner relays).
+	g := election.Torus(24, 24)
+	fmt.Printf("sensor field: %d motes, %d radio links, diameter %d\n\n",
+		g.N(), g.M(), g.DiameterExact())
+
+	fmt.Printf("%-18s %10s %10s %12s %9s\n", "algorithm", "messages", "rounds", "energy (J)", "elected")
+	for _, algo := range []string{"flood", "leastel", "leastel-loglog", "leastel-const", "cluster"} {
+		var msgs, rounds float64
+		elected := 0
+		const trials = 5
+		for s := int64(0); s < trials; s++ {
+			res, err := election.Elect(g, algo, election.Params{Seed: s})
+			if err != nil {
+				log.Fatal(err)
+			}
+			msgs += float64(res.Messages) / trials
+			rounds += float64(res.Rounds) / trials
+			if res.UniqueLeader() {
+				elected++
+			}
+		}
+		fmt.Printf("%-18s %10.0f %10.0f %12.4f %6d/%d\n",
+			algo, msgs, rounds, msgs*joulesPerMessage, elected, trials)
+	}
+
+	fmt.Println("\nThe Ω(m) lower bound (Theorem 3.1) says no protocol can beat ~1")
+	fmt.Println("message per link; leastel-const gets within a small constant of it.")
+}

@@ -1,0 +1,82 @@
+// Package broadcast implements the broadcast problem of Corollary 3.12: a
+// single source must convey a message to all (or, in the majority variant,
+// to more than half of) the nodes. The flooding protocol here is
+// message-optimal up to constants (Θ(m)); the corollary shows that Ω(m) is
+// unavoidable for any algorithm with suitably large success probability,
+// which the lowerbound package demonstrates on dumbbell graphs.
+package broadcast
+
+import "ule/internal/sim"
+
+// Flood is the classic flooding broadcast: the source sends a token to all
+// neighbors; every node forwards it once. Θ(m) messages, source
+// eccentricity + 1 rounds.
+type Flood struct {
+	// Source is the broadcasting node index.
+	Source int
+}
+
+var _ sim.Protocol = Flood{}
+
+// Name implements sim.Protocol.
+func (Flood) Name() string { return "broadcast-flood" }
+
+// New implements sim.Protocol.
+func (f Flood) New(info sim.NodeInfo) sim.Process {
+	return &floodProc{}
+}
+
+type token struct{}
+
+func (token) Bits() int { return 1 }
+
+type floodProc struct{ got bool }
+
+// Protocol convention: the source is the unique node with wake round 1;
+// all others use sim.WakeOnMessage (see Config below).
+func (p *floodProc) Start(c *sim.Context) {
+	if c.SpontaneousWake() {
+		p.got = true
+		c.Decide(sim.Leader) // "informed" marker; Leader doubles as got-it
+		c.Broadcast(token{})
+		c.Halt()
+	}
+}
+
+func (p *floodProc) Round(c *sim.Context, inbox []sim.Message) {
+	if !p.got && len(inbox) > 0 {
+		p.got = true
+		c.Decide(sim.Leader)
+		c.Broadcast(token{})
+	}
+	c.Halt()
+}
+
+// Config returns the sim configuration that realizes the broadcast wakeup
+// convention on an n-node graph: only the source wakes spontaneously.
+func Config(n, source int) []int {
+	wake := make([]int, n)
+	for i := range wake {
+		wake[i] = sim.WakeOnMessage
+	}
+	wake[source] = 1
+	return wake
+}
+
+// Informed counts the nodes the broadcast reached (marked Leader by the
+// convention above).
+func Informed(res *sim.Result) int {
+	count := 0
+	for _, s := range res.Statuses {
+		if s == sim.Leader {
+			count++
+		}
+	}
+	return count
+}
+
+// ReachedMajority reports whether the broadcast informed more than half of
+// the nodes (the majority-broadcast success condition of Corollary 3.12).
+func ReachedMajority(res *sim.Result) bool {
+	return Informed(res)*2 > len(res.Statuses)
+}

@@ -1,0 +1,148 @@
+// Package core implements the paper's contribution: the universal leader
+// election algorithms of Table 1 (Kutten, Pandurangan, Peleg, Robinson,
+// Trehan — "On the Complexity of Universal Leader Election", PODC 2013 /
+// JACM 2015), plus the baselines they are measured against.
+//
+// Every algorithm is a sim.Protocol; the package-level registry maps the
+// names used by the CLI, the experiment harness and the benchmarks to
+// constructors together with the knowledge each algorithm assumes (the
+// "Knowledge" column of Table 1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ule/internal/sim"
+)
+
+// Options configures algorithm constructors; zero values select the
+// defaults documented per field.
+type Options struct {
+	// Epsilon is the target failure probability of leastel-const
+	// (Theorem 4.4.(B)) and the density exponent of spanner-le
+	// (Corollary 4.2). Default 0.1.
+	Epsilon float64
+	// FScale multiplies the candidate budget f(n) of leastel variants.
+	// Default 1.
+	FScale float64
+	// SpannerK is the Baswana–Sen parameter (spanner stretch 2k-1).
+	// Default: ⌈2/Epsilon⌉ capped at 4.
+	SpannerK int
+	// DFSBudgetCap caps the per-agent step period 2^i of the Theorem 4.1
+	// algorithm to keep simulations finite when IDs are large. Default 20
+	// (period at most 2^20 rounds). The capped algorithm sends no more
+	// messages than the uncapped one.
+	DFSBudgetCap int
+	// ClusterCandidateFactor scales the 8·ln(n)/n candidate probability
+	// of Algorithm 1. Default 1.
+	ClusterCandidateFactor float64
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return 0.1
+	}
+	return o.Epsilon
+}
+
+func (o Options) fScale() float64 {
+	if o.FScale <= 0 {
+		return 1
+	}
+	return o.FScale
+}
+
+func (o Options) spannerK() int {
+	if o.SpannerK > 0 {
+		return o.SpannerK
+	}
+	k := int(math.Ceil(2 / o.epsilon()))
+	if k > 4 {
+		k = 4
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+func (o Options) dfsBudgetCap() int {
+	if o.DFSBudgetCap > 0 {
+		return o.DFSBudgetCap
+	}
+	return 20
+}
+
+func (o Options) clusterFactor() float64 {
+	if o.ClusterCandidateFactor <= 0 {
+		return 1
+	}
+	return o.ClusterCandidateFactor
+}
+
+// Spec describes a registered algorithm.
+type Spec struct {
+	// Name is the registry key.
+	Name string
+	// Result ties the algorithm to the paper artifact it realizes.
+	Result string
+	// Summary is a one-line description.
+	Summary string
+	// Deterministic reports whether the algorithm uses no coins.
+	Deterministic bool
+	// NeedsN / NeedsD report required a-priori knowledge.
+	NeedsN, NeedsD bool
+	// NeedsIDs reports whether unique identifiers are required.
+	NeedsIDs bool
+	// Quiet requests the engine's StopWhenQuiet termination (the protocol
+	// decides everywhere but does not halt every node explicitly).
+	Quiet bool
+	// New constructs the protocol.
+	New func(o Options) sim.Protocol
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("core: duplicate algorithm " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the spec registered under name.
+func Get(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustGet is Get for names known to exist; it panics otherwise (programmer
+// error in experiment code).
+func MustGet(name string) Spec {
+	s, ok := registry[name]
+	if !ok {
+		panic("core: unknown algorithm " + name)
+	}
+	return s
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns a human-readable one-line description of an algorithm.
+func Describe(name string) (string, error) {
+	s, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("core: unknown algorithm %q", name)
+	}
+	return fmt.Sprintf("%-18s %-14s %s", s.Name, s.Result, s.Summary), nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import "ule/internal/sim"
+
+// Estimate is the Corollary 4.5 algorithm: leader election with probability
+// 1 in O(D) time and O(m·min(log n, D)) messages whp, with NO knowledge of
+// n (or any other parameter).
+//
+// Phase A (size estimation): every node flips a fair coin until heads and
+// floods its count X_u with max semantics and echo termination; the global
+// maximum X̄ concentrates around log2 n, so n̂ = 2^X̄ satisfies
+// n̂ ∈ [Ω(n/log n), O(n²)] whp. The unique node holding the maximum
+// (X, ID) pair learns, from its echo completion, that everyone has X̄, and
+// launches phase B by flooding a start signal.
+//
+// Phase B: the least-element-list election of Theorem 4.4 with every node a
+// candidate, rank space n̂⁴, and ties broken by unique IDs — hence success
+// with probability 1. Nodes reached by a phase-B rank before the start
+// signal join phase B on the spot (the rank message carries X̄), which
+// preserves the flood-timing argument despite the skewed starts.
+type Estimate struct{}
+
+var _ sim.Protocol = Estimate{}
+
+// Name implements sim.Protocol.
+func (Estimate) Name() string { return "leastel-estimate" }
+
+// New implements sim.Protocol.
+func (Estimate) New(info sim.NodeInfo) sim.Process { return &estimateProc{} }
+
+// Phase tags multiplexing the two flooders plus the start signal.
+const (
+	tagPhaseA uint8 = iota + 1
+	tagPhaseB
+	tagStartB
+)
+
+// taggedMsg wraps a flood message with its phase tag.
+type taggedMsg struct {
+	tag uint8
+	m   flMsg
+}
+
+func (t taggedMsg) Bits() int { return 3 + t.m.Bits() }
+
+// startBMsg floods the phase-B start signal carrying X̄.
+type startBMsg struct{ xbar int64 }
+
+func (m startBMsg) Bits() int { return 3 + sim.BitsFor(m.xbar) }
+
+type estimateProc struct {
+	flA, flB *flooder
+	x        int64 // own geometric draw
+	meB      flKey
+	inB      bool
+	startFwd bool
+	decided  bool
+	sawAWin  bool
+}
+
+func (p *estimateProc) Start(c *sim.Context) {
+	ports := allPorts(c.Degree())
+	p.flA = newFlooder(ports, false, func(port int, m flMsg) {
+		c.Send(port, taggedMsg{tag: tagPhaseA, m: m})
+	})
+	p.flB = newFlooder(ports, true, func(port int, m flMsg) {
+		c.Send(port, taggedMsg{tag: tagPhaseB, m: m})
+	})
+	// Geometric draw: flips until the first heads.
+	p.x = 1
+	for c.Rand().Intn(2) == 0 {
+		p.x++
+	}
+	origin := c.ID()
+	if !c.HasID() {
+		origin = c.Rand().Int63()
+	}
+	p.flA.start(flKey{rank: p.x, origin: origin}, 0)
+	p.flA.flush()
+	if p.flA.completed {
+		// Single-node network: phase A is trivially complete.
+		p.enterPhaseB(c, p.x)
+	}
+}
+
+// enterPhaseB makes the node a phase-B candidate with rank space n̂⁴.
+func (p *estimateProc) enterPhaseB(c *sim.Context, xbar int64) {
+	if p.inB {
+		return
+	}
+	p.inB = true
+	if xbar > 15 {
+		xbar = 15 // clamp the rank space to a sane 60-bit ceiling
+	}
+	nHat := int64(1) << uint(xbar)
+	space := nHat * nHat * nHat * nHat
+	if space < 4 {
+		space = 4
+	}
+	p.meB = drawKey(c, space)
+	p.flB.start(p.meB, xbar)
+	if p.flB.completed {
+		p.finishB(c)
+	}
+}
+
+func (p *estimateProc) Round(c *sim.Context, inbox []sim.Message) {
+	var aMsgs, bMsgs []portMsg
+	startB := int64(0)
+	for _, in := range inbox {
+		switch m := in.Payload.(type) {
+		case taggedMsg:
+			switch m.tag {
+			case tagPhaseA:
+				aMsgs = append(aMsgs, portMsg{port: in.Port, m: m.m})
+			case tagPhaseB:
+				bMsgs = append(bMsgs, portMsg{port: in.Port, m: m.m})
+			}
+		case startBMsg:
+			if startB == 0 || m.xbar > startB {
+				startB = m.xbar
+			}
+		}
+	}
+	p.flA.handleRound(aMsgs)
+	// Phase-A completion at the maximum holder triggers the start flood.
+	if p.flA.completed && p.flA.won && !p.sawAWin {
+		p.sawAWin = true
+		c.Broadcast(startBMsg{xbar: p.flA.heard.rank})
+		p.enterPhaseB(c, p.flA.heard.rank)
+	}
+	if startB > 0 && !p.startFwd {
+		p.startFwd = true
+		c.Broadcast(startBMsg{xbar: startB})
+		p.enterPhaseB(c, startB)
+	}
+	// Join rule: a phase-B rank arriving before the start signal makes the
+	// node a candidate first (using the rank's X̄), then processes it.
+	if len(bMsgs) > 0 && !p.inB {
+		xbar := int64(1)
+		for _, pm := range bMsgs {
+			if pm.m.Aux > xbar {
+				xbar = pm.m.Aux
+			}
+		}
+		p.enterPhaseB(c, xbar)
+	}
+	p.flB.handleRound(bMsgs)
+	p.flA.flush()
+	p.flB.flush()
+	if p.inB && !p.decided {
+		if p.flB.completed {
+			p.finishB(c)
+		} else if p.flB.heard != p.meB && p.flB.better(p.flB.heard, p.meB) {
+			c.Decide(sim.NonLeader)
+			p.decided = true
+		}
+	}
+}
+
+func (p *estimateProc) finishB(c *sim.Context) {
+	if p.flB.won {
+		c.Decide(sim.Leader)
+	} else {
+		c.Decide(sim.NonLeader)
+	}
+	p.decided = true
+}
+
+func init() {
+	register(Spec{
+		Name:    "leastel-estimate",
+		Result:  "Cor 4.5",
+		Summary: "size-estimate max-flood then f=n least-el; no knowledge, prob 1, O(D) time, O(m·min(log n,D)) msgs whp",
+		Quiet:   true,
+		New:     func(o Options) sim.Protocol { return Estimate{} },
+	})
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ule/internal/sim"
+)
+
+// flKey is a flood value: a rank plus the origin that injected it. Origins
+// are candidate IDs in non-anonymous networks and random 62-bit tokens in
+// anonymous ones; the pair is the total order used to break rank ties.
+type flKey struct {
+	rank   int64
+	origin int64
+}
+
+// infKey is the identity of the min-order (nothing adopted yet).
+var infKey = flKey{rank: math.MaxInt64, origin: math.MaxInt64}
+
+// negKey is the identity of the max-order.
+var negKey = flKey{rank: math.MinInt64, origin: math.MinInt64}
+
+func (k flKey) less(o flKey) bool {
+	if k.rank != o.rank {
+		return k.rank < o.rank
+	}
+	return k.origin < o.origin
+}
+
+// flMsg is the wire format of the flood machine: a rank announcement or its
+// echo (ack). Acks piggyback the sender's best-heard value, which closes
+// the completion-vs-in-flight race discussed in the Theorem 4.4 analysis.
+type flMsg struct {
+	Ack    bool
+	Origin int64
+	Rank   int64
+	// Aux rides along rank announcements (Corollary 4.5 uses it to carry
+	// the size estimate to nodes that have not locally started phase B).
+	Aux int64
+	// HeardRank/HeardOrigin are the acker's best-heard value.
+	HeardRank   int64
+	HeardOrigin int64
+}
+
+// Bits implements sim.Payload; every identifier-sized field costs its bit
+// length, matching the CONGEST accounting of the paper.
+func (m flMsg) Bits() int {
+	b := 2 + sim.BitsFor(m.Origin) + sim.BitsFor(m.Rank) + sim.BitsFor(m.Aux)
+	if m.Ack {
+		b += sim.BitsFor(m.HeardRank) + sim.BitsFor(m.HeardOrigin)
+	}
+	return b
+}
+
+// flState tracks one origin's propagation-with-feedback (the "echo"
+// mechanism of [11] as described in Section 4.2).
+type flState struct {
+	parentPort int // real port toward the origin; -1 at the origin itself
+	pending    int // echoes still outstanding
+}
+
+// flooder is the least-element-list flood with echo-based termination used
+// by every randomized algorithm in the paper (Theorems 4.4, 4.7,
+// Corollaries 4.2, 4.5, 4.6). It is direction-parametric: min mode
+// implements least-element lists; max mode implements the max-flood of the
+// Corollary 4.5 size-estimation phase.
+//
+// The embedding process forwards inbound flMsg traffic via handleRound and
+// provides an out function that performs the actual (possibly tagged, or
+// port-restricted) sends.
+type flooder struct {
+	min   bool
+	ports []int // real ports the flood uses
+	raw   func(realPort int, m flMsg)
+	q     *portQueue
+
+	participating bool
+	self          flKey
+	aux           int64
+
+	// best is the least (resp. greatest) value adopted and re-flooded; it
+	// gates adoption. heard additionally folds in ack gossip and gates
+	// only the local win decision — see the safety note in leastel.go.
+	best   flKey
+	heard  flKey
+	states map[int64]*flState
+
+	// listLen counts adopted entries: the size of this node's
+	// least-element list (Lemma 4.3 measures its expectation).
+	listLen int
+
+	completed bool
+	won       bool
+
+	// onAdopt, if set, fires when a new value is adopted (used by the
+	// estimate variant's join rule and by tests).
+	onAdopt func(k flKey, aux int64)
+}
+
+// flushRate bounds flood sends per port per round, keeping bursts of
+// echoes within the CONGEST per-edge budget.
+const flushRate = 4
+
+func newFlooder(ports []int, min bool, out func(int, flMsg)) *flooder {
+	f := &flooder{min: min, ports: ports, raw: out, q: newPortQueue(), states: make(map[int64]*flState)}
+	if min {
+		f.best, f.heard = infKey, infKey
+	} else {
+		f.best, f.heard = negKey, negKey
+	}
+	return f
+}
+
+// out enqueues a flood message; flush drips it onto the wire.
+func (f *flooder) out(port int, m flMsg) {
+	f.q.push(port, m)
+}
+
+// flush sends up to flushRate queued messages per port through the raw
+// sender (which applies any protocol tagging). The embedding process must
+// call it once per Round (after handleRound).
+func (f *flooder) flush() {
+	f.q.flush(func(port int, pl sim.Payload) {
+		m, ok := pl.(flMsg)
+		if ok {
+			f.raw(port, m)
+		}
+	}, flushRate)
+}
+
+// idle reports whether no flood traffic is queued.
+func (f *flooder) idle() bool { return f.q.empty() }
+
+// better reports whether a beats b in the flood's direction.
+func (f *flooder) better(a, b flKey) bool {
+	if f.min {
+		return a.less(b)
+	}
+	return b.less(a)
+}
+
+// start injects this node's own value. Must be called at most once, before
+// any handleRound delivery in the same round is processed.
+func (f *flooder) start(self flKey, aux int64) {
+	f.participating = true
+	f.self = self
+	f.aux = aux
+	f.best = self
+	f.heard = self
+	f.listLen++
+	st := &flState{parentPort: -1, pending: len(f.ports)}
+	f.states[self.origin] = st
+	for _, p := range f.ports {
+		f.out(p, flMsg{Origin: self.origin, Rank: self.rank, Aux: aux})
+	}
+	if st.pending == 0 {
+		f.complete()
+	}
+}
+
+func (f *flooder) complete() {
+	f.completed = true
+	f.won = f.heard == f.self
+}
+
+// fold updates heard with gossip (no re-flooding).
+func (f *flooder) fold(k flKey) {
+	if f.better(k, f.heard) {
+		f.heard = k
+	}
+}
+
+// handleRound processes all of this round's flood traffic. Announcements
+// are processed before echoes, best value first, so that a completion
+// decision in this round already accounts for every value that reached the
+// node.
+func (f *flooder) handleRound(msgs []portMsg) {
+	ranks := msgs[:0:0]
+	acks := msgs[:0:0]
+	for _, pm := range msgs {
+		if pm.m.Ack {
+			acks = append(acks, pm)
+		} else {
+			ranks = append(ranks, pm)
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		a := flKey{ranks[i].m.Rank, ranks[i].m.Origin}
+		b := flKey{ranks[j].m.Rank, ranks[j].m.Origin}
+		if a == b {
+			return ranks[i].port < ranks[j].port
+		}
+		return f.better(a, b)
+	})
+	for _, pm := range ranks {
+		f.handleRank(pm.port, pm.m)
+	}
+	for _, pm := range acks {
+		f.handleAck(pm.port, pm.m)
+	}
+}
+
+// portMsg pairs a real port with a decoded flood message.
+type portMsg struct {
+	port int
+	m    flMsg
+}
+
+func (f *flooder) handleRank(port int, m flMsg) {
+	k := flKey{m.Rank, m.Origin}
+	f.fold(k)
+	if _, dup := f.states[m.Origin]; !dup && f.better(k, f.best) {
+		// Adopt: this is a new least-element (resp. greatest) entry.
+		f.best = k
+		f.listLen++
+		st := &flState{parentPort: port, pending: len(f.ports) - 1}
+		f.states[m.Origin] = st
+		if f.onAdopt != nil {
+			f.onAdopt(k, m.Aux)
+		}
+		for _, p := range f.ports {
+			if p != port {
+				f.out(p, flMsg{Origin: m.Origin, Rank: m.Rank, Aux: m.Aux})
+			}
+		}
+		if st.pending == 0 {
+			f.echo(st, m)
+		}
+		return
+	}
+	// Reject (or duplicate arrival of an adopted origin): echo immediately.
+	f.out(port, flMsg{
+		Ack: true, Origin: m.Origin, Rank: m.Rank,
+		HeardRank: f.heard.rank, HeardOrigin: f.heard.origin,
+	})
+}
+
+func (f *flooder) handleAck(port int, m flMsg) {
+	f.fold(flKey{m.HeardRank, m.HeardOrigin})
+	st := f.states[m.Origin]
+	if st == nil || st.pending == 0 {
+		return // stale echo (e.g. duplicate origins in anonymous collisions)
+	}
+	st.pending--
+	if st.pending == 0 {
+		f.echo(st, m)
+	}
+}
+
+// echo fires when all outstanding echoes for an origin returned: forward
+// the echo toward the origin, or complete if this node is the origin.
+func (f *flooder) echo(st *flState, m flMsg) {
+	if st.parentPort < 0 {
+		f.complete()
+		return
+	}
+	f.out(st.parentPort, flMsg{
+		Ack: true, Origin: m.Origin, Rank: m.Rank,
+		HeardRank: f.heard.rank, HeardOrigin: f.heard.origin,
+	})
+}
+
+// addPort grows the port set after the flood started (used by the
+// Algorithm 1 overlay when the far side of a retained inter-cluster edge
+// finishes its sparsification later than this node). Outstanding echo
+// counts are unaffected: already-flooded values were never forwarded on the
+// new port, so no echo is owed there; future adoptions include it.
+func (f *flooder) addPort(p int) {
+	for _, q := range f.ports {
+		if q == p {
+			return
+		}
+	}
+	f.ports = append(f.ports, p)
+}
+
+// quiescedLocally reports whether this node owes no further flood traffic.
+func (f *flooder) quiescedLocally() bool {
+	for _, st := range f.states {
+		if st.pending > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ule/internal/graph"
+	"ule/internal/sim"
+)
+
+func TestFlKeyOrdering(t *testing.T) {
+	a := flKey{1, 5}
+	b := flKey{1, 6}
+	c := flKey{2, 1}
+	if !a.less(b) || !b.less(c) || !a.less(c) {
+		t.Error("ordering broken")
+	}
+	if a.less(a) {
+		t.Error("irreflexivity broken")
+	}
+	if !a.less(infKey) || negKey.less(negKey) {
+		t.Error("sentinel ordering broken")
+	}
+}
+
+func TestFlMsgBitsAreLogarithmic(t *testing.T) {
+	m := flMsg{Ack: true, Origin: 1 << 40, Rank: 1 << 40, HeardRank: 1 << 40, HeardOrigin: 1 << 40}
+	if m.Bits() > 4*41+8 {
+		t.Errorf("ack bits %d too large", m.Bits())
+	}
+	small := flMsg{Origin: 3, Rank: 2}
+	if small.Bits() > 16 {
+		t.Errorf("small msg %d bits", small.Bits())
+	}
+}
+
+// loopback wires two flooders directly together to unit-test the echo
+// protocol without the engine.
+type loopback struct {
+	a, b   *flooder
+	toA    []flMsg
+	toB    []flMsg
+	rounds int
+}
+
+func newLoopback() *loopback {
+	lb := &loopback{}
+	lb.a = newFlooder([]int{0}, true, func(port int, m flMsg) { lb.toB = append(lb.toB, m) })
+	lb.b = newFlooder([]int{0}, true, func(port int, m flMsg) { lb.toA = append(lb.toA, m) })
+	return lb
+}
+
+func (lb *loopback) step() {
+	inA, inB := lb.toA, lb.toB
+	lb.toA, lb.toB = nil, nil
+	msgsA := make([]portMsg, len(inA))
+	for i, m := range inA {
+		msgsA[i] = portMsg{port: 0, m: m}
+	}
+	msgsB := make([]portMsg, len(inB))
+	for i, m := range inB {
+		msgsB[i] = portMsg{port: 0, m: m}
+	}
+	lb.a.handleRound(msgsA)
+	lb.b.handleRound(msgsB)
+	lb.a.flush()
+	lb.b.flush()
+	lb.rounds++
+}
+
+func TestFlooderTwoNodeDuel(t *testing.T) {
+	lb := newLoopback()
+	lb.a.start(flKey{rank: 5, origin: 1}, 0)
+	lb.b.start(flKey{rank: 9, origin: 2}, 0)
+	lb.a.flush()
+	lb.b.flush()
+	for i := 0; i < 10 && !(lb.a.completed && lb.b.completed); i++ {
+		lb.step()
+	}
+	if !lb.a.completed || !lb.b.completed {
+		t.Fatal("echo protocol did not complete")
+	}
+	if !lb.a.won || lb.b.won {
+		t.Errorf("a.won=%v b.won=%v, want true/false", lb.a.won, lb.b.won)
+	}
+	// b must have adopted a's smaller rank: list length 2.
+	if lb.b.listLen != 2 {
+		t.Errorf("b list length %d, want 2", lb.b.listLen)
+	}
+	if lb.a.listLen != 1 {
+		t.Errorf("a list length %d, want 1", lb.a.listLen)
+	}
+}
+
+func TestFlooderNonParticipantRelay(t *testing.T) {
+	lb := newLoopback()
+	lb.a.start(flKey{rank: 5, origin: 1}, 0)
+	lb.a.flush()
+	for i := 0; i < 10 && !lb.a.completed; i++ {
+		lb.step()
+	}
+	if !lb.a.completed || !lb.a.won {
+		t.Fatal("lone participant must win")
+	}
+	if lb.b.participating {
+		t.Error("b should not participate")
+	}
+	if lb.b.heard != (flKey{5, 1}) {
+		t.Errorf("b heard %v", lb.b.heard)
+	}
+}
+
+// leastElListInvariants is the Lemma 4.3 shape: adopted entries at any node
+// form a strictly improving sequence, and the expected list size is
+// O(log(#candidates)).
+func TestLeastElListInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, err := graph.RandomConnected(120, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.DiameterExact()
+	var totalLen float64
+	const seeds = 8
+	for s := int64(0); s < seeds; s++ {
+		res, err := Run(g, "leastel", RunOpts{Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.UniqueLeader() {
+			t.Fatal("election failed")
+		}
+		// Messages/(2m) approximates the mean list length: each entry is
+		// forwarded once per endpoint and echoed once.
+		totalLen += float64(res.Messages) / float64(4*g.M())
+	}
+	mean := totalLen / seeds
+	limit := 2 * logf(g.N())
+	if mean > limit {
+		t.Errorf("mean list length proxy %.2f > %v = 2·log n (Lemma 4.3)", mean, limit)
+	}
+	if mean < 1 {
+		t.Errorf("mean list length proxy %.2f < 1 (accounting bug?)", mean)
+	}
+	// The list can never exceed D+1 entries: messages <= ~4m(D+1).
+	if mean > float64(d+1) {
+		t.Errorf("list proxy %.2f exceeds D+1=%d", mean, d+1)
+	}
+}
+
+// TestElectionSafetyQuick is the core property test: across random graphs,
+// seeds, and candidate budgets, no run may ever produce two leaders, and
+// f=n runs must always produce exactly one.
+func TestElectionSafetyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	prop := func(nRaw, mRaw uint8, seed int64, kind uint8) bool {
+		n := 2 + int(nRaw)%40
+		maxM := n * (n - 1) / 2
+		m := n - 1 + int(mRaw)%(maxM-n+2)
+		if m > maxM {
+			m = maxM
+		}
+		g, err := graph.RandomConnected(n, m, rng)
+		if err != nil {
+			return false
+		}
+		algo := []string{"leastel", "leastel-loglog", "leastel-const", "leastel-estimate"}[kind%4]
+		res, err := Run(g, algo, RunOpts{Seed: seed, MaxRounds: 1 << 15})
+		if err != nil || res.HitRoundCap {
+			return false
+		}
+		if res.LeaderCount() > 1 {
+			return false
+		}
+		if (algo == "leastel" || algo == "leastel-estimate") && !res.UniqueLeader() {
+			return false // probability-1 algorithms must always succeed
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterministicSafetyQuick: the deterministic algorithms must elect
+// exactly one leader on every instance.
+func TestDeterministicSafetyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	prop := func(nRaw, mRaw uint8, seed int64, kind uint8) bool {
+		n := 2 + int(nRaw)%24
+		maxM := n * (n - 1) / 2
+		m := n - 1 + int(mRaw)%(maxM-n+2)
+		if m > maxM {
+			m = maxM
+		}
+		g, err := graph.RandomConnected(n, m, rng)
+		if err != nil {
+			return false
+		}
+		algo := []string{"dfs", "kingdom", "kingdom-d", "flood"}[kind%4]
+		ids := sim.PermutationIDs(n, rand.New(rand.NewSource(seed)))
+		res, err := Run(g, algo, RunOpts{Seed: seed, IDs: ids, MaxRounds: 1 << 15})
+		if err != nil || res.HitRoundCap {
+			return false
+		}
+		return res.UniqueLeader()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortQueueDrip(t *testing.T) {
+	q := newPortQueue()
+	for i := 0; i < 5; i++ {
+		q.push(0, idMsg{int64(i)})
+	}
+	q.push(1, idMsg{99})
+	var sent [][2]int64 // (port, value)
+	send := func(port int, pl sim.Payload) {
+		sent = append(sent, [2]int64{int64(port), pl.(idMsg).id})
+	}
+	q.flush(send, 2)
+	if len(sent) != 3 { // 2 from port 0, 1 from port 1
+		t.Fatalf("first flush sent %d, want 3", len(sent))
+	}
+	if sent[0] != [2]int64{0, 0} || sent[1] != [2]int64{0, 1} {
+		t.Error("FIFO order violated")
+	}
+	sent = nil
+	q.flush(send, 2)
+	q.flush(send, 2)
+	if len(sent) != 3 || !q.empty() {
+		t.Fatalf("remaining flushes sent %d, empty=%v", len(sent), q.empty())
+	}
+}
+
+func TestFlooderAddPortIdempotent(t *testing.T) {
+	f := newFlooder([]int{0, 1}, true, func(int, flMsg) {})
+	f.addPort(1)
+	f.addPort(2)
+	f.addPort(2)
+	if len(f.ports) != 3 {
+		t.Errorf("ports = %v", f.ports)
+	}
+}
+
+func TestFlooderQuiescedLocally(t *testing.T) {
+	f := newFlooder([]int{0}, true, func(int, flMsg) {})
+	if !f.quiescedLocally() {
+		t.Error("fresh flooder should be quiescent")
+	}
+	f.start(flKey{1, 1}, 0)
+	if f.quiescedLocally() {
+		t.Error("pending echo should block quiescence")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "ule/internal/sim"
+
+// FloodMax is the classic time-optimal baseline attributed to Peleg [20]:
+// every node floods the largest identifier it has seen; after D+1 rounds
+// the unique maximum is known everywhere and its owner elects itself.
+// Time O(D); messages O(m·min(n, D)) — message-wasteful, which is exactly
+// the gap the paper's algorithms close.
+type FloodMax struct{}
+
+var _ sim.Protocol = FloodMax{}
+
+// Name implements sim.Protocol.
+func (FloodMax) Name() string { return "flood" }
+
+// New implements sim.Protocol.
+func (FloodMax) New(info sim.NodeInfo) sim.Process { return &floodProc{} }
+
+type idMsg struct{ id int64 }
+
+func (m idMsg) Bits() int { return sim.BitsFor(m.id) }
+
+type floodProc struct {
+	me, max  int64
+	deadline int
+}
+
+func (p *floodProc) Start(c *sim.Context) {
+	p.me = c.ID()
+	if !c.HasID() {
+		// Anonymous fallback: a random 62-bit identity (Monte Carlo).
+		p.me = 1 + c.Rand().Int63()
+	}
+	p.max = p.me
+	// The maximum ID reaches every node within D hops; one extra round
+	// accounts for the initial send.
+	p.deadline = c.Round() + c.Know().D + 1
+	c.Broadcast(idMsg{p.me})
+}
+
+func (p *floodProc) Round(c *sim.Context, inbox []sim.Message) {
+	improved := false
+	for _, in := range inbox {
+		m, ok := in.Payload.(idMsg)
+		if !ok {
+			continue
+		}
+		if m.id > p.max {
+			p.max = m.id
+			improved = true
+		}
+	}
+	if improved && c.Round() < p.deadline {
+		c.Broadcast(idMsg{p.max})
+	}
+	if c.Round() >= p.deadline {
+		if p.max == p.me {
+			c.Decide(sim.Leader)
+		} else {
+			c.Decide(sim.NonLeader)
+		}
+		c.Halt()
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:     "flood",
+		Result:   "[20] baseline",
+		Summary:  "max-ID flooding; O(D) time, O(m·min(n,D)) msgs, deterministic",
+		NeedsD:   true,
+		NeedsIDs: true,
+		New:      func(o Options) sim.Protocol { return FloodMax{} },
+	})
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"sort"
+
+	"ule/internal/sim"
+)
+
+// Kingdom is the Theorem 4.10 "double-win growing kingdoms" deterministic
+// election (a corrected variant of Abu-Amara–Kanevsky [1]): O(D·log n)
+// time and O(m·log n) messages, with no knowledge of n, D or m.
+//
+// Every node starts as a candidate. A candidate in phase p grows a BFS
+// kingdom of radius 2^(p−1) with an ELECT wave; the wave is an
+// echo-terminated flood (the async analogue of the paper's 4-stage
+// election), so the candidate learns the largest (phase, ID) claim its
+// kingdom touched. A candidate that heard only its own claim runs the
+// second win: a CONFIRM/PROBE/VICTOR sweep over its kingdom that collects
+// the claims of every neighbor of every kingdom member (the paper's
+// "neighbors of neighbors"). Only a candidate that wins both sweeps
+// proceeds to phase p+1; claims are totally ordered by (phase, ID), and
+// higher claims overrun lower ones mid-wave. The candidate holding the
+// historically largest claim can never be defeated, so exactly one
+// candidate survives; it detects that its kingdom covers the graph (every
+// member's neighbors are members) and elects itself, flooding a final done
+// signal so everyone halts.
+//
+// With KnownD set, waves use radius D from the start (the paper's
+// simplified variant under knowledge of D).
+type Kingdom struct {
+	// KnownD grows radius-D kingdoms from phase 1.
+	KnownD bool
+}
+
+var _ sim.Protocol = Kingdom{}
+
+// Name implements sim.Protocol.
+func (k Kingdom) Name() string {
+	if k.KnownD {
+		return "kingdom-d"
+	}
+	return "kingdom"
+}
+
+// New implements sim.Protocol.
+func (k Kingdom) New(info sim.NodeInfo) sim.Process {
+	return &kingdomProc{knownD: k.KnownD}
+}
+
+// kkey is a kingdom claim: candidate id at a phase, totally ordered.
+type kkey struct {
+	phase int32
+	id    int64
+}
+
+func (a kkey) less(b kkey) bool {
+	if a.phase != b.phase {
+		return a.phase < b.phase
+	}
+	return a.id < b.id
+}
+
+func (a kkey) max(b kkey) kkey {
+	if a.less(b) {
+		return b
+	}
+	return a
+}
+
+// Kingdom messages. Every ELECT gets exactly one kReply; every kProbe gets
+// exactly one kProbeRe; kConfirm triggers exactly one kVictor per child —
+// so both sweeps are deadlock-free echo floods.
+type (
+	kElect struct {
+		key kkey
+		ttl int32
+	}
+	kReply struct {
+		key  kkey
+		join bool // the sender joined the wave as a child
+		max  kkey // largest claim known to the replying subtree
+	}
+	kConfirm struct{ key kkey }
+	kProbe   struct{ key kkey }
+	kProbeRe struct {
+		key kkey
+		max kkey
+	}
+	kVictor struct {
+		key     kkey
+		max     kkey
+		covered bool
+	}
+	kDone struct{}
+)
+
+func kkeyBits(k kkey) int { return sim.BitsFor(int64(k.phase)) + sim.BitsFor(k.id) }
+
+func (m kElect) Bits() int   { return 3 + kkeyBits(m.key) + sim.BitsFor(int64(m.ttl)) }
+func (m kReply) Bits() int   { return 4 + kkeyBits(m.key) + kkeyBits(m.max) }
+func (m kConfirm) Bits() int { return 3 + kkeyBits(m.key) }
+func (m kProbe) Bits() int   { return 3 + kkeyBits(m.key) }
+func (m kProbeRe) Bits() int { return 3 + kkeyBits(m.key) + kkeyBits(m.max) }
+func (m kVictor) Bits() int  { return 4 + kkeyBits(m.key) + kkeyBits(m.max) }
+func (kDone) Bits() int      { return 1 }
+
+// kState is the per-wave membership state at a node.
+type kState struct {
+	parent   int // port toward the wave's root; -1 at the root
+	children []int
+	pending  int  // outstanding ELECT replies
+	replied  bool // join reply sent upward
+	agg      kkey // stage-1 aggregate
+
+	stage2   bool
+	pending2 int // outstanding probe replies + child victors
+	agg2     kkey
+	covered2 bool
+}
+
+type kingdomProc struct {
+	knownD bool
+
+	me        int64
+	zMax      kkey // largest claim ever seen (monotone)
+	states    map[kkey]*kState
+	candidate bool
+	phase     int32
+	decided   bool
+	doneSent  bool
+	halting   bool
+}
+
+func (p *kingdomProc) radius(phase int32, c *sim.Context) int32 {
+	if p.knownD {
+		d := int32(c.Know().D)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	if phase > 30 {
+		return 1 << 30
+	}
+	return 1 << uint(phase-1)
+}
+
+func (p *kingdomProc) Start(c *sim.Context) {
+	p.me = c.ID()
+	if !c.HasID() {
+		p.me = c.Rand().Int63()
+	}
+	p.states = make(map[kkey]*kState)
+	p.candidate = true
+	p.phase = 1
+	p.launchWave(c)
+}
+
+// launchWave starts this candidate's phase-p ELECT wave.
+func (p *kingdomProc) launchWave(c *sim.Context) {
+	key := kkey{phase: p.phase, id: p.me}
+	p.zMax = p.zMax.max(key)
+	st := &kState{parent: -1, pending: c.Degree(), agg: key}
+	p.states[key] = st
+	if st.pending == 0 {
+		// Single-node network: both wins are vacuous.
+		p.crown(c)
+		return
+	}
+	c.Broadcast(kElect{key: key, ttl: p.radius(p.phase, c)})
+}
+
+func (p *kingdomProc) Round(c *sim.Context, inbox []sim.Message) {
+	if p.halting {
+		return
+	}
+	// Process ELECTs in descending claim order so that the strongest wave
+	// of the round claims the node first.
+	var elects []sim.Message
+	var others []sim.Message
+	for _, in := range inbox {
+		if _, ok := in.Payload.(kElect); ok {
+			elects = append(elects, in)
+		} else {
+			others = append(others, in)
+		}
+	}
+	sort.SliceStable(elects, func(i, j int) bool {
+		a := elects[i].Payload.(kElect).key
+		b := elects[j].Payload.(kElect).key
+		return b.less(a)
+	})
+	for _, in := range elects {
+		p.handleElect(c, in.Port, in.Payload.(kElect))
+		if p.halting {
+			return
+		}
+	}
+	for _, in := range others {
+		switch m := in.Payload.(type) {
+		case kReply:
+			p.handleReply(c, in.Port, m)
+		case kConfirm:
+			p.handleConfirm(c, in.Port, m)
+		case kProbe:
+			c.Send(in.Port, kProbeRe{key: m.key, max: p.zMax})
+		case kProbeRe:
+			p.handleVictorPart(c, m.key, m.max, m.max == m.key)
+		case kVictor:
+			p.handleVictorPart(c, m.key, m.max, m.covered)
+		case kDone:
+			p.finish(c)
+			return
+		}
+		if p.halting {
+			return
+		}
+	}
+}
+
+func (p *kingdomProc) handleElect(c *sim.Context, port int, m kElect) {
+	if !p.zMax.less(m.key) {
+		// Known or weaker claim: immediate echo carrying the stronger one.
+		c.Send(port, kReply{key: m.key, max: p.zMax})
+		return
+	}
+	p.zMax = m.key
+	p.noteDefeat(c)
+	st := &kState{parent: port, agg: m.key}
+	p.states[m.key] = st
+	if m.ttl > 1 && c.Degree() > 1 {
+		st.pending = c.Degree() - 1
+		c.BroadcastExcept(port, kElect{key: m.key, ttl: m.ttl - 1})
+		return
+	}
+	// Leaf of the wave: join immediately.
+	st.replied = true
+	c.Send(port, kReply{key: m.key, join: true, max: p.zMax})
+}
+
+func (p *kingdomProc) handleReply(c *sim.Context, port int, m kReply) {
+	st := p.states[m.key]
+	if st == nil || st.pending == 0 {
+		return // echo for an abandoned wave
+	}
+	st.agg = st.agg.max(m.max)
+	if m.join {
+		st.children = append(st.children, port)
+	}
+	st.pending--
+	if st.pending > 0 {
+		return
+	}
+	if st.parent >= 0 {
+		st.replied = true
+		c.Send(st.parent, kReply{key: m.key, join: true, max: st.agg.max(p.zMax)})
+		return
+	}
+	// Root: first win decided.
+	p.waveDone(c, m.key, st)
+}
+
+// waveDone is the stage-1 verdict at the wave's root.
+func (p *kingdomProc) waveDone(c *sim.Context, key kkey, st *kState) {
+	if !p.candidate || key.id != p.me || key.phase != p.phase {
+		return // stale wave of an abandoned candidacy
+	}
+	final := st.agg.max(p.zMax)
+	if final != key {
+		p.defeat(c)
+		return
+	}
+	// Second win: sweep the kingdom's neighborhood.
+	p.startStage2(c, key, st)
+}
+
+func (p *kingdomProc) startStage2(c *sim.Context, key kkey, st *kState) {
+	st.stage2 = true
+	st.agg2 = key
+	st.covered2 = true
+	st.pending2 = len(st.children) + c.Degree()
+	for _, ch := range st.children {
+		c.Send(ch, kConfirm{key: key})
+	}
+	for q := 0; q < c.Degree(); q++ {
+		c.Send(q, kProbe{key: key})
+	}
+	if st.pending2 == 0 {
+		p.stage2Done(c, key, st)
+	}
+}
+
+func (p *kingdomProc) handleConfirm(c *sim.Context, port int, m kConfirm) {
+	st := p.states[m.key]
+	if st == nil || st.stage2 || !st.replied {
+		return // not a member (or duplicate confirm)
+	}
+	p.startStage2(c, m.key, st)
+}
+
+// handleVictorPart folds one probe reply or child victor into the stage-2
+// aggregate of the wave identified by key.
+func (p *kingdomProc) handleVictorPart(c *sim.Context, key, max kkey, covered bool) {
+	st := p.states[key]
+	if st == nil || !st.stage2 || st.pending2 == 0 {
+		return
+	}
+	st.agg2 = st.agg2.max(max)
+	if !covered {
+		st.covered2 = false
+	}
+	st.pending2--
+	if st.pending2 > 0 {
+		return
+	}
+	p.stage2Done(c, key, st)
+}
+
+func (p *kingdomProc) stage2Done(c *sim.Context, key kkey, st *kState) {
+	if st.parent >= 0 {
+		c.Send(st.parent, kVictor{key: key, max: st.agg2.max(p.zMax), covered: st.covered2})
+		return
+	}
+	if !p.candidate || key.id != p.me || key.phase != p.phase {
+		return
+	}
+	final := st.agg2.max(p.zMax)
+	switch {
+	case final != key:
+		p.defeat(c)
+	case st.covered2:
+		// Both wins and the kingdom spans the graph: crowned.
+		p.crown(c)
+	default:
+		p.phase++
+		p.launchWave(c)
+	}
+}
+
+// noteDefeat marks this node's own candidacy as beaten when a foreign claim
+// overruns it (the foreign claim is already folded into zMax).
+func (p *kingdomProc) noteDefeat(c *sim.Context) {
+	if p.candidate && p.zMax.id != p.me {
+		own := kkey{phase: p.phase, id: p.me}
+		if own.less(p.zMax) {
+			p.defeat(c)
+		}
+	}
+}
+
+func (p *kingdomProc) defeat(c *sim.Context) {
+	p.candidate = false
+	if !p.decided {
+		c.Decide(sim.NonLeader)
+		p.decided = true
+	}
+}
+
+func (p *kingdomProc) crown(c *sim.Context) {
+	c.Decide(sim.Leader)
+	p.decided = true
+	p.finish(c)
+}
+
+// finish floods the done signal and halts.
+func (p *kingdomProc) finish(c *sim.Context) {
+	if !p.decided {
+		c.Decide(sim.NonLeader)
+		p.decided = true
+	}
+	if !p.doneSent {
+		p.doneSent = true
+		c.Broadcast(kDone{})
+	}
+	p.halting = true
+	c.Halt()
+}
+
+func init() {
+	register(Spec{
+		Name:          "kingdom",
+		Result:        "Thm 4.10",
+		Summary:       "double-win growing kingdoms, radius 2^(p-1); deterministic, no knowledge, O(D log n) time, O(m log n) msgs",
+		Deterministic: true,
+		NeedsIDs:      true,
+		New:           func(o Options) sim.Protocol { return Kingdom{} },
+	})
+	register(Spec{
+		Name:          "kingdom-d",
+		Result:        "§4.3 (known D)",
+		Summary:       "growing kingdoms with radius-D phases (knowledge of D); deterministic, O(D log n) time, O(m log n) msgs",
+		Deterministic: true,
+		NeedsD:        true,
+		NeedsIDs:      true,
+		New:           func(o Options) sim.Protocol { return Kingdom{KnownD: true} },
+	})
+}

@@ -1,0 +1,117 @@
+package core
+
+import "ule/internal/sim"
+
+// LasVegas is the Corollary 4.6 algorithm: with knowledge of both n and D,
+// leader election with probability 1 in expected O(D) time and expected
+// O(m) messages.
+//
+// Time is sliced into epochs of length 2D+4 rounds. At each epoch start
+// every node independently becomes a candidate with probability f/n for a
+// constant f, and the epoch runs the Theorem 4.4.(B) least-element flood.
+// If the epoch stays completely silent (no candidate anywhere — detectable
+// because with at least one candidate the flood reaches every node within D
+// rounds), everyone restarts with fresh coins. The expected number of
+// epochs is the constant 1/(1−e^−f).
+type LasVegas struct {
+	// F is the constant expected candidate count per epoch (default 4).
+	F float64
+}
+
+var _ sim.Protocol = LasVegas{}
+
+// Name implements sim.Protocol.
+func (LasVegas) Name() string { return "lasvegas" }
+
+// New implements sim.Protocol.
+func (l LasVegas) New(info sim.NodeInfo) sim.Process {
+	f := l.F
+	if f <= 0 {
+		f = 4
+	}
+	return &lvProc{f: f}
+}
+
+type lvProc struct {
+	f         float64
+	epochEnd  int
+	fl        *flooder
+	candidate bool
+	me        flKey
+	active    bool // any message seen or candidacy held this epoch
+	won       bool
+	wonKnown  bool
+}
+
+func (p *lvProc) Start(c *sim.Context) {
+	p.startEpoch(c)
+}
+
+func (p *lvProc) startEpoch(c *sim.Context) {
+	d := c.Know().D
+	p.epochEnd = c.Round() + 2*d + 3
+	p.fl = newFlooder(allPorts(c.Degree()), true, func(port int, m flMsg) {
+		c.Send(port, taggedMsg{tag: tagPhaseB, m: m})
+	})
+	p.active = false
+	p.wonKnown = false
+	n := c.Know().N
+	prob := p.f / float64(n)
+	if prob > 1 {
+		prob = 1
+	}
+	p.candidate = c.Rand().Float64() < prob
+	if p.candidate {
+		p.active = true
+		p.me = drawKey(c, rankSpace(n))
+		p.fl.start(p.me, 0)
+		p.fl.flush()
+		if p.fl.completed {
+			p.won, p.wonKnown = p.fl.won, true
+		}
+	}
+}
+
+func (p *lvProc) Round(c *sim.Context, inbox []sim.Message) {
+	var msgs []portMsg
+	for _, in := range inbox {
+		if t, ok := in.Payload.(taggedMsg); ok && t.tag == tagPhaseB {
+			msgs = append(msgs, portMsg{port: in.Port, m: t.m})
+		}
+	}
+	if len(msgs) > 0 {
+		p.active = true
+	}
+	p.fl.handleRound(msgs)
+	p.fl.flush()
+	if p.candidate && p.fl.completed && !p.wonKnown {
+		p.won, p.wonKnown = p.fl.won, true
+	}
+	if c.Round() < p.epochEnd {
+		return
+	}
+	// Epoch boundary: with any candidate present, every node observed
+	// traffic (the minimum rank floods everywhere within D rounds), so the
+	// outcome is consistent network-wide.
+	if p.active {
+		if p.candidate && p.wonKnown && p.won {
+			c.Decide(sim.Leader)
+		} else {
+			c.Decide(sim.NonLeader)
+		}
+		c.Halt()
+		return
+	}
+	p.startEpoch(c)
+}
+
+func init() {
+	register(Spec{
+		Name:    "lasvegas",
+		Result:  "Cor 4.6",
+		Summary: "epoch-restarted f=Θ(1) least-el; knows n and D, prob 1, expected O(D) time and O(m) msgs",
+		NeedsN:  true,
+		NeedsD:  true,
+		New:     func(o Options) sim.Protocol { return LasVegas{} },
+	})
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+
+	"ule/internal/sim"
+)
+
+// FKind selects the candidate budget f(n) of the Theorem 4.4 algorithm
+// family. The expected number of candidates is f(n); Lemma 4.3 bounds the
+// expected least-element list size by O(min(log f(n), D)), which drives the
+// message complexity O(m·min(log f(n), D)).
+type FKind int
+
+// Candidate budgets (Theorem 4.4 and its corollaries).
+const (
+	// FAll sets f(n)=n: every node is a candidate (the original [11]
+	// algorithm; succeeds with probability 1 given unique tiebreaks).
+	FAll FKind = iota + 1
+	// FLog sets f(n)=Θ(log n): Theorem 4.4.(A), success whp, messages
+	// O(m·min(log log n, D)).
+	FLog
+	// FConst sets f(n)=4·ln(1/ε): Theorem 4.4.(B), success ≥ 1−ε,
+	// messages O(m).
+	FConst
+)
+
+func (k FKind) String() string {
+	switch k {
+	case FAll:
+		return "f=n"
+	case FLog:
+		return "f=log n"
+	case FConst:
+		return "f=const"
+	default:
+		return "f=?"
+	}
+}
+
+// fValue returns f(n) for budget kind k.
+func fValue(k FKind, n int, o Options) float64 {
+	var f float64
+	switch k {
+	case FLog:
+		f = math.Log(float64(n) + 1)
+	case FConst:
+		f = 4 * math.Log(1/o.epsilon())
+	default:
+		f = float64(n)
+	}
+	f *= o.fScale()
+	if f < 1 {
+		f = 1
+	}
+	if f > float64(n) {
+		f = float64(n)
+	}
+	return f
+}
+
+// rankSpace returns the rank range [1, n^4] of Section 4.2.
+func rankSpace(n int) int64 {
+	s := int64(n) * int64(n) * int64(n) * int64(n)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// drawKey draws a candidate's (rank, origin) pair. The origin is the unique
+// node ID when available, otherwise a random 62-bit token (the anonymous
+// variant; token collisions are the Monte-Carlo failure mode).
+func drawKey(c *sim.Context, space int64) flKey {
+	k := flKey{rank: 1 + c.Rand().Int63n(space)}
+	if c.HasID() {
+		k.origin = c.ID()
+	} else {
+		k.origin = c.Rand().Int63()
+	}
+	return k
+}
+
+// LeastEl is the Theorem 4.4 election family: candidates are sampled with
+// probability f(n)/n, draw random ranks, and flood them with least-element
+// semantics and echo-based termination; the candidate whose own rank is the
+// global minimum elects itself.
+type LeastEl struct {
+	// F selects the candidate budget.
+	F FKind
+	// Opt carries shared tuning parameters.
+	Opt Options
+}
+
+var _ sim.Protocol = LeastEl{}
+
+// Name implements sim.Protocol.
+func (l LeastEl) Name() string { return "leastel(" + l.F.String() + ")" }
+
+// New implements sim.Protocol.
+func (l LeastEl) New(info sim.NodeInfo) sim.Process {
+	return &leastelProc{kind: l.F, opt: l.Opt}
+}
+
+type leastelProc struct {
+	kind      FKind
+	opt       Options
+	fl        *flooder
+	candidate bool
+	me        flKey
+	decided   bool
+}
+
+func allPorts(deg int) []int {
+	ports := make([]int, deg)
+	for i := range ports {
+		ports[i] = i
+	}
+	return ports
+}
+
+func (p *leastelProc) Start(c *sim.Context) {
+	n := c.Know().N // Theorem 4.4 assumes n is known
+	p.fl = newFlooder(allPorts(c.Degree()), true, func(port int, m flMsg) {
+		c.Send(port, m)
+	})
+	f := fValue(p.kind, n, p.opt)
+	p.candidate = c.Rand().Float64() < f/float64(n)
+	if p.candidate {
+		p.me = drawKey(c, rankSpace(n))
+		p.fl.start(p.me, 0)
+		p.fl.flush()
+		if p.fl.completed { // degree-0 corner: single-node network
+			p.finish(c)
+		}
+	} else {
+		// Non-candidates know immediately that they are not the leader
+		// (implicit election only requires the leader to know).
+		c.Decide(sim.NonLeader)
+		p.decided = true
+	}
+}
+
+func (p *leastelProc) Round(c *sim.Context, inbox []sim.Message) {
+	msgs := make([]portMsg, 0, len(inbox))
+	for _, in := range inbox {
+		m, ok := in.Payload.(flMsg)
+		if !ok {
+			continue
+		}
+		msgs = append(msgs, portMsg{port: in.Port, m: m})
+	}
+	p.fl.handleRound(msgs)
+	p.fl.flush()
+	if p.candidate && !p.decided {
+		if p.fl.completed {
+			p.finish(c)
+		} else if p.fl.heard != p.me && p.fl.better(p.fl.heard, p.me) {
+			// A strictly better rank exists: this candidate lost.
+			c.Decide(sim.NonLeader)
+			p.decided = true
+		}
+	}
+}
+
+func (p *leastelProc) finish(c *sim.Context) {
+	if p.fl.won {
+		c.Decide(sim.Leader)
+	} else {
+		c.Decide(sim.NonLeader)
+	}
+	p.decided = true
+}
+
+func init() {
+	register(Spec{
+		Name:    "leastel",
+		Result:  "Cor 4.5 [11]",
+		Summary: "least-element-list election, every node a candidate (f=n); O(D) time, O(m·min(log n,D)) msgs",
+		NeedsN:  true,
+		Quiet:   true,
+		New:     func(o Options) sim.Protocol { return LeastEl{F: FAll, Opt: o} },
+	})
+	register(Spec{
+		Name:    "leastel-loglog",
+		Result:  "Thm 4.4.(A)",
+		Summary: "f(n)=Θ(log n) candidates; O(D) time, O(m·min(log log n,D)) msgs, success whp",
+		NeedsN:  true,
+		Quiet:   true,
+		New:     func(o Options) sim.Protocol { return LeastEl{F: FLog, Opt: o} },
+	})
+	register(Spec{
+		Name:    "leastel-const",
+		Result:  "Thm 4.4.(B)",
+		Summary: "f(n)=4·ln(1/ε) candidates; O(D) time, O(m) msgs, success ≥ 1−ε",
+		NeedsN:  true,
+		Quiet:   true,
+		New:     func(o Options) sim.Protocol { return LeastEl{F: FConst, Opt: o} },
+	})
+}

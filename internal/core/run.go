@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ule/internal/graph"
+	"ule/internal/sim"
+)
+
+// RunOpts configures a single election run driven by the registry.
+type RunOpts struct {
+	// Seed drives ID assignment and all node coins.
+	Seed int64
+	// IDs overrides the generated identifier assignment.
+	IDs []int64
+	// Anonymous runs without identifiers (only valid for algorithms with
+	// NeedsIDs == false).
+	Anonymous bool
+	// D is the known diameter; 0 means "compute exactly" (O(n·m) —
+	// fine for tests, pass the family's closed form in experiments).
+	D int
+	// MaxRounds bounds the run (0 = engine default).
+	MaxRounds int
+	// Mode selects CONGEST (default) or LOCAL.
+	Mode sim.Mode
+	// Parallel selects the goroutine runner.
+	Parallel bool
+	// Wake is the wake-up schedule (nil = simultaneous).
+	Wake []int
+	// WatchEdges and CountPerEdge enable the lower-bound instruments.
+	WatchEdges   [][2]int
+	CountPerEdge bool
+	// Opt tunes the algorithm.
+	Opt Options
+}
+
+// Run executes the registered algorithm on g and returns the run summary.
+// Knowledge is granted exactly as the algorithm's Table 1 row assumes.
+func Run(g *graph.Graph, algo string, ro RunOpts) (*sim.Result, error) {
+	spec, ok := Get(algo)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	if spec.NeedsIDs && ro.Anonymous {
+		return nil, fmt.Errorf("core: %s requires unique IDs", algo)
+	}
+	d := ro.D
+	if d <= 0 && spec.NeedsD {
+		d = g.DiameterExact()
+	}
+	ids := ro.IDs
+	if ids == nil && !ro.Anonymous {
+		rng := rand.New(rand.NewSource(sim.NodeSeed(ro.Seed, -1)))
+		ids = sim.RandomIDs(g.N(), rng)
+	}
+	cfg := sim.Config{
+		Graph: g,
+		IDs:   ids,
+		Know: sim.Knowledge{
+			N: g.N(), HasN: spec.NeedsN,
+			M: g.M(), HasM: false,
+			D: d, HasD: spec.NeedsD,
+		},
+		Seed:          ro.Seed,
+		Mode:          ro.Mode,
+		MaxRounds:     ro.MaxRounds,
+		Wake:          ro.Wake,
+		StopWhenQuiet: spec.Quiet,
+		WatchEdges:    ro.WatchEdges,
+		CountPerEdge:  ro.CountPerEdge,
+		Parallel:      ro.Parallel,
+	}
+	return sim.Run(cfg, spec.New(ro.Opt))
+}

@@ -1,0 +1,40 @@
+package core
+
+import "ule/internal/sim"
+
+// Trivial is the zero-message algorithm of the introduction: each node
+// elects itself with probability 1/n. It succeeds (exactly one leader) with
+// probability n·(1/n)·(1−1/n)^(n−1) ≈ 1/e, demonstrating why the Ω(m)/Ω(D)
+// lower bounds require a suitably large constant success probability.
+type Trivial struct{}
+
+var _ sim.Protocol = Trivial{}
+
+// Name implements sim.Protocol.
+func (Trivial) Name() string { return "trivial" }
+
+// New implements sim.Protocol.
+func (Trivial) New(info sim.NodeInfo) sim.Process { return &trivialProc{} }
+
+type trivialProc struct{}
+
+func (p *trivialProc) Start(c *sim.Context) {
+	if c.Rand().Float64() < 1/float64(c.Know().N) {
+		c.Decide(sim.Leader)
+	} else {
+		c.Decide(sim.NonLeader)
+	}
+	c.Halt()
+}
+
+func (p *trivialProc) Round(c *sim.Context, inbox []sim.Message) {}
+
+func init() {
+	register(Spec{
+		Name:    "trivial",
+		Result:  "§1 example",
+		Summary: "self-elect w.p. 1/n; zero messages, one round, succeeds w.p. ≈ 1/e",
+		NeedsN:  true,
+		New:     func(o Options) sim.Protocol { return Trivial{} },
+	})
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tt := range []struct{ n, d int }{{10, 3}, {16, 4}, {30, 6}, {64, 8}} {
+		g, err := RandomRegular(tt.n, tt.d, rng)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tt.n, tt.d, err)
+		}
+		if g.N() != tt.n || g.M() != tt.n*tt.d/2 {
+			t.Errorf("n=%d d=%d: got N=%d M=%d", tt.n, tt.d, g.N(), g.M())
+		}
+		for u := 0; u < g.N(); u++ {
+			if g.Degree(u) != tt.d {
+				t.Fatalf("node %d degree %d, want %d", u, g.Degree(u), tt.d)
+			}
+		}
+		if !g.Connected() {
+			t.Error("disconnected")
+		}
+		// Expander check (weak): diameter should be O(log n) for d >= 3.
+		if d := g.DiameterExact(); d > 4*bitsLen(tt.n) {
+			t.Errorf("n=%d d=%d: diameter %d too large for an expander", tt.n, tt.d, d)
+		}
+	}
+}
+
+func bitsLen(n int) int {
+	l := 0
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	return l
+}
+
+func TestRandomRegularRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRegular(10, 0, rng); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := RandomRegular(10, 10, rng); err == nil {
+		t.Error("d=n accepted")
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Error("odd n·d accepted")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K(3,4): N=%d M=%d", g.N(), g.M())
+	}
+	if g.DiameterExact() != 2 {
+		t.Error("K(3,4) diameter should be 2")
+	}
+	// No intra-part edges.
+	for u := 0; u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			if g.HasEdge(u, v) {
+				t.Errorf("intra-part edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 20 || g.M() != 19 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Error("disconnected")
+	}
+	// Tree: m = n-1; diameter = spine-1 + 2 legs.
+	if d := g.DiameterExact(); d != 6 {
+		t.Errorf("diameter %d, want 6", d)
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph on n nodes: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return mustFromEdges(n, edges, "path")
+}
+
+// Ring returns the cycle graph on n nodes (n >= 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return mustFromEdges(n, edges, "ring")
+}
+
+// Star returns the star graph: node 0 is the hub connected to 1..n-1.
+func Star(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return mustFromEdges(n, edges, "star")
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	edges := make([][2]int, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return mustFromEdges(n, edges, "complete")
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph {
+	idx := func(r, c int) int { return r*cols + c }
+	var edges [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{idx(r, c), idx(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{idx(r, c), idx(r+1, c)})
+			}
+		}
+	}
+	return mustFromEdges(rows*cols, edges, "grid")
+}
+
+// Torus returns the rows×cols torus (grid with wraparound); rows, cols >= 3.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols >= 3")
+	}
+	idx := func(r, c int) int { return r*cols + c }
+	var edges [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, [2]int{idx(r, c), idx(r, (c+1)%cols)})
+			edges = append(edges, [2]int{idx(r, c), idx((r+1)%rows, c)})
+		}
+	}
+	return mustFromEdges(rows*cols, edges, "torus")
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return mustFromEdges(n, edges, "hypercube")
+}
+
+// RandomConnected returns a uniformly-wired connected graph with n nodes and
+// exactly m edges (n-1 <= m <= n(n-1)/2): a random spanning tree plus m-n+1
+// additional distinct random edges.
+func RandomConnected(n, m int, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: RandomConnected needs n >= 1, got %d", n)
+	}
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		return nil, fmt.Errorf("graph: RandomConnected needs n-1 <= m <= n(n-1)/2, got n=%d m=%d", n, m)
+	}
+	perm := rng.Perm(n)
+	used := make(map[[2]int]bool, m)
+	edges := make([][2]int, 0, m)
+	// Random spanning tree: attach each node (in random order) to a random
+	// earlier node. This is not uniform over all trees but gives well-mixed
+	// connected topologies, which is all the experiments need.
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[rng.Intn(i)]
+		k := normEdge(u, v)
+		used[k] = true
+		edges = append(edges, k)
+	}
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		k := normEdge(u, v)
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		edges = append(edges, k)
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	g.name = "random"
+	return g, nil
+}

@@ -1,0 +1,240 @@
+// Package graph provides the network-topology substrate for the universal
+// leader election reproduction: port-numbered undirected graphs, the standard
+// families used by the paper's experiments (rings, cliques, random connected
+// graphs, grids, hypercubes), and the two lower-bound constructions — the
+// "lollipop" base graph G0 with its dumbbell combinations (Theorem 3.1) and
+// the clique-cycle of Figure 1 (Theorem 3.13).
+//
+// Nodes are identified by dense indices 0..n-1. Every node sees its incident
+// edges only through local port numbers 0..deg-1, exactly as in the paper's
+// model: algorithms never observe neighbor indices, only ports.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected, simple, port-numbered graph.
+//
+// The port order of a node is the order in which its incident edges were
+// added; use ShufflePorts to randomize port mappings (the adversarial choice
+// in the paper's lower-bound constructions).
+type Graph struct {
+	adj  [][]int
+	m    int
+	name string
+}
+
+// Errors returned by NewFromEdges.
+var (
+	ErrSelfLoop      = errors.New("graph: self loop")
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+	ErrBadEndpoint   = errors.New("graph: endpoint out of range")
+)
+
+// NewFromEdges builds a graph with n nodes from an undirected edge list.
+// Edges are validated: endpoints must lie in [0,n), self loops and duplicate
+// edges are rejected.
+func NewFromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := &Graph{adj: make([][]int, n)}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrBadEndpoint, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+		}
+		k := normEdge(u, v)
+		if seen[k] {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+		}
+		seen[k] = true
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
+		g.m++
+	}
+	return g, nil
+}
+
+// mustFromEdges is used by the family builders, whose edge lists are
+// correct by construction.
+func mustFromEdges(n int, edges [][2]int, name string) *Graph {
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		panic("graph: internal builder bug: " + err.Error())
+	}
+	g.name = name
+	return g
+}
+
+func normEdge(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Name returns the family name assigned by the builder ("" for ad-hoc graphs).
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbor returns the node reached from u through port p.
+func (g *Graph) Neighbor(u, p int) int { return g.adj[u][p] }
+
+// PortTo returns the port of u leading to v, or -1 if (u,v) is not an edge.
+func (g *Graph) PortTo(u, v int) int {
+	for p, w := range g.adj[u] {
+		if w == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool { return g.PortTo(u, v) >= 0 }
+
+// Edges returns all undirected edges with endpoints ordered (low, high),
+// sorted lexicographically. The slice is freshly allocated.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int, len(g.adj)), m: g.m, name: g.name}
+	for u := range g.adj {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// ShufflePorts permutes every node's port numbering uniformly at random.
+// This realizes the adversarial port-mapping choice of the paper's model.
+func (g *Graph) ShufflePorts(rng *rand.Rand) {
+	for u := range g.adj {
+		rng.Shuffle(len(g.adj[u]), func(i, j int) {
+			g.adj[u][i], g.adj[u][j] = g.adj[u][j], g.adj[u][i]
+		})
+	}
+}
+
+// BFS returns the distance from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for n==0, n==1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the largest BFS distance from u, or -1 if the graph
+// is disconnected from u.
+func (g *Graph) Eccentricity(u int) int {
+	ecc := 0
+	for _, d := range g.BFS(u) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// DiameterExact computes the exact diameter by all-pairs BFS. It costs
+// O(n·m) time, so reserve it for tests and small experiment instances; the
+// experiment families expose closed-form diameters instead.
+func (g *Graph) DiameterExact() int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		e := g.Eccentricity(u)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterTwoSweep returns a lower bound on the diameter computed with the
+// classic double-sweep heuristic (exact on trees, a good estimate on the
+// families used here). Cost: two BFS traversals.
+func (g *Graph) DiameterTwoSweep() int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist := g.BFS(0)
+	far := 0
+	for v, d := range dist {
+		if d > dist[far] {
+			far = v
+		}
+	}
+	ecc := g.Eccentricity(far)
+	return ecc
+}
+
+// DegreeSum returns the sum of all degrees (2m); useful as a sanity check.
+func (g *Graph) DegreeSum() int {
+	s := 0
+	for _, a := range g.adj {
+		s += len(a)
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package graph
+
+import "fmt"
+
+// Lollipop is the base graph G0 used by the proof of Theorem 3.1 for
+// algorithms that know the diameter: a κ-clique (nodes 0..κ-1) joined to a
+// path of n-κ nodes (nodes κ..n-1), where node κ (the path head b1) is
+// connected to every clique node. κ is the largest integer with
+// κ(κ-1)/2 + κ <= m, so the graph has Θ(m) edges and Θ(n) nodes.
+type Lollipop struct {
+	*Graph
+	// Kappa is the clique size κ.
+	Kappa int
+}
+
+// NewLollipop builds the Theorem 3.1 base graph for the requested node and
+// edge budget. Requires n >= 4 and n <= m.
+func NewLollipop(n, m int) (*Lollipop, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("graph: lollipop needs n >= 4, got %d", n)
+	}
+	if m < n {
+		return nil, fmt.Errorf("graph: lollipop needs m >= n, got n=%d m=%d", n, m)
+	}
+	kappa := 2
+	for (kappa+1)*kappa/2+kappa+1 <= m {
+		kappa++
+	}
+	if kappa > n-2 {
+		kappa = n - 2 // keep at least a 2-node path so a dumbbell has positive bridge distance
+	}
+	var edges [][2]int
+	for u := 0; u < kappa; u++ {
+		for v := u + 1; v < kappa; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	b1 := kappa
+	for u := 0; u < kappa; u++ {
+		edges = append(edges, [2]int{u, b1})
+	}
+	for i := kappa; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	g := mustFromEdges(n, edges, "lollipop")
+	return &Lollipop{Graph: g, Kappa: kappa}, nil
+}
+
+// CliqueEdges returns the edges of the κ-clique part; these are the edges
+// the Theorem 3.1 construction is allowed to open when forming dumbbells
+// (opening a clique edge keeps the dumbbell diameter independent of which
+// edge was opened).
+func (l *Lollipop) CliqueEdges() [][2]int {
+	edges := make([][2]int, 0, l.Kappa*(l.Kappa-1)/2)
+	for u := 0; u < l.Kappa; u++ {
+		for v := u + 1; v < l.Kappa; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return edges
+}
+
+// PathTail returns the node at the far end of the path (b_{n-κ}); the
+// dumbbell diameter is realized between the two tails.
+func (l *Lollipop) PathTail() int { return l.N() - 1 }
+
+// Dumbbell combines two "open graphs" G'[e'] and G”[e”] into the
+// Dumbbell(G'[e'], G”[e”]) graph of Theorem 3.1: edge e1 is removed from
+// g1, edge e2 from the (index-shifted) copy of g2, and two bridge edges are
+// added connecting the freed port slots pairwise: (e1[0], e2[0]+off) and
+// (e1[1], e2[1]+off).
+//
+// The freed port positions are reused for the bridges, so every non-bridge
+// port mapping is identical to the one in the underlying closed graphs —
+// exactly the indistinguishability the lower-bound proof relies on.
+type Dumbbell struct {
+	*Graph
+	// Bridges are the two bridge edges, endpoints ordered (left, right).
+	Bridges [2][2]int
+	// Off is the index offset of the right copy (== g1.N()).
+	Off int
+}
+
+// NewDumbbell builds the dumbbell; e1 must be an edge of g1 and e2 an edge
+// of g2 (right-copy indices are pre-offset, i.e. pass g2's own indices).
+func NewDumbbell(g1, g2 *Graph, e1, e2 [2]int) (*Dumbbell, error) {
+	if !g1.HasEdge(e1[0], e1[1]) {
+		return nil, fmt.Errorf("graph: dumbbell: e1=(%d,%d) not an edge of g1", e1[0], e1[1])
+	}
+	if !g2.HasEdge(e2[0], e2[1]) {
+		return nil, fmt.Errorf("graph: dumbbell: e2=(%d,%d) not an edge of g2", e2[0], e2[1])
+	}
+	off := g1.N()
+	n := g1.N() + g2.N()
+	adj := make([][]int, n)
+	for u := range g1.adj {
+		adj[u] = append([]int(nil), g1.adj[u]...)
+	}
+	for u := range g2.adj {
+		shifted := make([]int, len(g2.adj[u]))
+		for p, v := range g2.adj[u] {
+			shifted[p] = v + off
+		}
+		adj[u+off] = shifted
+	}
+	// Rewire the freed port slots: e1[i] now leads to e2[i]+off.
+	for i := 0; i < 2; i++ {
+		u, v := e1[i], e1[1-i]
+		adj[u][g1.PortTo(u, v)] = e2[i] + off
+		ru, rv := e2[i]+off, e2[1-i]+off
+		p := -1
+		for q, w := range adj[ru] {
+			if w == rv {
+				p = q
+				break
+			}
+		}
+		adj[ru][p] = e1[i]
+	}
+	g := &Graph{adj: adj, m: g1.m + g2.m, name: "dumbbell"}
+	return &Dumbbell{
+		Graph:   g,
+		Bridges: [2][2]int{{e1[0], e2[0] + off}, {e1[1], e2[1] + off}},
+		Off:     off,
+	}, nil
+}
+
+// CliqueCycle is the Figure 1 / Theorem 3.13 lower-bound construction: D'
+// cliques of γ nodes each, arranged in a cycle and partitioned into four
+// arcs C0..C3. Consecutive cliques are connected by a single edge, so any
+// causal influence between opposite arcs needs Ω(D') rounds.
+type CliqueCycle struct {
+	*Graph
+	// DPrime is the number of cliques D' = 4⌈D/4⌉.
+	DPrime int
+	// Gamma is the clique size γ (smallest with γ·D' >= n).
+	Gamma int
+}
+
+// NewCliqueCycle builds the construction for target size n and diameter
+// parameter d (2 < d < n). The resulting graph has γ·D' = Θ(n) nodes and
+// diameter Θ(d).
+func NewCliqueCycle(n, d int) (*CliqueCycle, error) {
+	if d <= 2 || d >= n {
+		return nil, fmt.Errorf("graph: clique-cycle needs 2 < d < n, got n=%d d=%d", n, d)
+	}
+	dp := 4 * ((d + 3) / 4)
+	gamma := (n + dp - 1) / dp
+	if gamma < 1 {
+		gamma = 1
+	}
+	total := gamma * dp
+	var edges [][2]int
+	node := func(clique, k int) int { return clique*gamma + k }
+	for c := 0; c < dp; c++ {
+		for a := 0; a < gamma; a++ {
+			for b := a + 1; b < gamma; b++ {
+				edges = append(edges, [2]int{node(c, a), node(c, b)})
+			}
+		}
+		// Single connecting edge: last node of clique c to first node of
+		// clique c+1 (mod D').
+		edges = append(edges, [2]int{node(c, gamma-1), node((c+1)%dp, 0)})
+	}
+	g := mustFromEdges(total, edges, "clique-cycle")
+	return &CliqueCycle{Graph: g, DPrime: dp, Gamma: gamma}, nil
+}
+
+// Arc returns the arc index (0..3) of node u.
+func (cc *CliqueCycle) Arc(u int) int {
+	clique := u / cc.Gamma
+	return clique / (cc.DPrime / 4)
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLollipopShape(t *testing.T) {
+	tests := []struct{ n, m int }{
+		{10, 20}, {16, 16}, {32, 200}, {64, 500}, {100, 1000},
+	}
+	for _, tt := range tests {
+		l, err := NewLollipop(tt.n, tt.m)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tt.n, tt.m, err)
+		}
+		if l.N() != tt.n {
+			t.Errorf("n=%d m=%d: N=%d", tt.n, tt.m, l.N())
+		}
+		// Θ(m): at least m/4 and at most m+n edges.
+		if l.M() < tt.m/4 || l.M() > tt.m+tt.n {
+			t.Errorf("n=%d m=%d: M=%d not Θ(m)", tt.n, tt.m, l.M())
+		}
+		if !l.Connected() {
+			t.Errorf("n=%d m=%d: disconnected", tt.n, tt.m)
+		}
+		// Clique must be complete on κ nodes.
+		for u := 0; u < l.Kappa; u++ {
+			for v := u + 1; v < l.Kappa; v++ {
+				if !l.HasEdge(u, v) {
+					t.Fatalf("missing clique edge (%d,%d)", u, v)
+				}
+			}
+		}
+		if got, want := len(l.CliqueEdges()), l.Kappa*(l.Kappa-1)/2; got != want {
+			t.Errorf("clique edges %d want %d", got, want)
+		}
+	}
+}
+
+func TestLollipopRejectsBadArgs(t *testing.T) {
+	if _, err := NewLollipop(3, 10); err == nil {
+		t.Error("n<4 accepted")
+	}
+	if _, err := NewLollipop(10, 5); err == nil {
+		t.Error("m<n accepted")
+	}
+}
+
+// TestDumbbellDiameterFormula checks the key geometric fact of the
+// Theorem 3.1 refinement: the dumbbell diameter 2(n-κ)+1 does not depend
+// on which clique edges were opened.
+func TestDumbbellDiameterFormula(t *testing.T) {
+	l, err := NewLollipop(12, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1
+	for _, e1 := range l.CliqueEdges() {
+		for _, e2 := range l.CliqueEdges() {
+			db, err := NewDumbbell(l.Graph, l.Graph, e1, e2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !db.Connected() {
+				t.Fatalf("dumbbell(%v,%v) disconnected", e1, e2)
+			}
+			d := db.DiameterExact()
+			if want < 0 {
+				want = d
+			}
+			if d != want {
+				t.Fatalf("dumbbell(%v,%v) diameter %d, want invariant %d", e1, e2, d, want)
+			}
+			// The diameter is realized between the two path tails.
+			tails := db.BFS(l.PathTail())
+			if got := tails[l.PathTail()+db.Off]; got != want {
+				t.Fatalf("tail-to-tail distance %d != diameter %d", got, want)
+			}
+		}
+	}
+	if formula := 2*(l.N()-l.Kappa) + 1; want != formula {
+		t.Errorf("diameter %d, formula 2(n-κ)+1 = %d", want, formula)
+	}
+}
+
+func TestDumbbellStructure(t *testing.T) {
+	l, _ := NewLollipop(10, 24)
+	e := l.CliqueEdges()[0]
+	db, err := NewDumbbell(l.Graph, l.Graph, e, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 2*l.N() {
+		t.Errorf("N=%d want %d", db.N(), 2*l.N())
+	}
+	if db.M() != 2*l.M() {
+		t.Errorf("M=%d want %d (opened 2, bridged 2)", db.M(), 2*l.M())
+	}
+	// The opened edges must be gone; the bridges must exist.
+	if db.HasEdge(e[0], e[1]) {
+		t.Error("opened edge still present on the left")
+	}
+	if db.HasEdge(e[0]+db.Off, e[1]+db.Off) {
+		t.Error("opened edge still present on the right")
+	}
+	for _, b := range db.Bridges {
+		if !db.HasEdge(b[0], b[1]) {
+			t.Errorf("missing bridge %v", b)
+		}
+	}
+	// Every path between the halves crosses a bridge: removing both
+	// bridges must disconnect.
+	edges := db.Edges()
+	var kept [][2]int
+	for _, ed := range edges {
+		if ed == normEdge(db.Bridges[0][0], db.Bridges[0][1]) ||
+			ed == normEdge(db.Bridges[1][0], db.Bridges[1][1]) {
+			continue
+		}
+		kept = append(kept, ed)
+	}
+	cut, err := NewFromEdges(db.N(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Connected() {
+		t.Error("dumbbell remains connected without its bridges")
+	}
+}
+
+func TestDumbbellRejectsNonEdges(t *testing.T) {
+	l, _ := NewLollipop(10, 24)
+	if _, err := NewDumbbell(l.Graph, l.Graph, [2]int{0, l.N() - 1}, l.CliqueEdges()[0]); err == nil {
+		t.Error("non-edge e1 accepted")
+	}
+	if _, err := NewDumbbell(l.Graph, l.Graph, l.CliqueEdges()[0], [2]int{0, l.N() - 1}); err == nil {
+		t.Error("non-edge e2 accepted")
+	}
+}
+
+func TestCliqueCycleShape(t *testing.T) {
+	tests := []struct{ n, d int }{
+		{24, 8}, {64, 16}, {100, 20}, {48, 12}, {40, 5},
+	}
+	for _, tt := range tests {
+		cc, err := NewCliqueCycle(tt.n, tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.DPrime%4 != 0 {
+			t.Errorf("D'=%d not divisible by 4", cc.DPrime)
+		}
+		if cc.N() != cc.DPrime*cc.Gamma {
+			t.Errorf("N=%d want γD'=%d", cc.N(), cc.DPrime*cc.Gamma)
+		}
+		if cc.N() < tt.n || cc.N() > 2*tt.n+4*cc.Gamma {
+			t.Errorf("N=%d not Θ(n=%d)", cc.N(), tt.n)
+		}
+		if !cc.Connected() {
+			t.Error("disconnected")
+		}
+		d := cc.DiameterExact()
+		// Θ(D): traversing half the cycle costs between D'/2 and 2D'.
+		if d < cc.DPrime/2 || d > 2*cc.DPrime+2 {
+			t.Errorf("diameter %d not Θ(D'=%d)", d, cc.DPrime)
+		}
+		// Every node belongs to an arc 0..3; arcs are contiguous quarters.
+		counts := make([]int, 4)
+		for u := 0; u < cc.N(); u++ {
+			a := cc.Arc(u)
+			if a < 0 || a > 3 {
+				t.Fatalf("bad arc %d", a)
+			}
+			counts[a]++
+		}
+		for a, c := range counts {
+			if c != cc.N()/4 {
+				t.Errorf("arc %d has %d nodes, want %d", a, c, cc.N()/4)
+			}
+		}
+	}
+}
+
+func TestCliqueCycleRejectsBadArgs(t *testing.T) {
+	if _, err := NewCliqueCycle(10, 2); err == nil {
+		t.Error("d<=2 accepted")
+	}
+	if _, err := NewCliqueCycle(10, 10); err == nil {
+		t.Error("d>=n accepted")
+	}
+}
+
+func TestCliqueCycleQuick(t *testing.T) {
+	prop := func(nSeed, dSeed uint8) bool {
+		n := 12 + int(nSeed)%100
+		d := 3 + int(dSeed)%(n-4)
+		cc, err := NewCliqueCycle(n, d)
+		if err != nil {
+			return false
+		}
+		return cc.Connected() && cc.N() == cc.Gamma*cc.DPrime && cc.DPrime >= d
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

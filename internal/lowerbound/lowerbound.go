@@ -1,0 +1,298 @@
+// Package lowerbound implements the experiment harnesses behind the
+// paper's lower bounds:
+//
+//   - Theorem 3.1 (Ω(m) messages): dumbbell-graph sweeps measuring the
+//     messages/m ratio of every universal election algorithm, plus the
+//     Lemma 3.5 bridge-crossing instrument (messages sent before the first
+//     bridge crossing).
+//   - Theorem 3.13 (Ω(D) time): clique-cycle sweeps measuring rounds/D,
+//     and truncated-run success probabilities showing that o(D)-time runs
+//     cannot elect reliably.
+//   - Corollary 3.12 (Ω(m) broadcast): flooding broadcast on dumbbells.
+//   - The §1 trivial algorithm: success probability ≈ 1/e at zero cost.
+//
+// The theorems are asymptotic and distributional (Yao-minimax over all ID
+// and port assignments); the harness samples assignments and reports the
+// measured distributions, which is what EXPERIMENTS.md records.
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ule/internal/broadcast"
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/sim"
+	"ule/internal/stats"
+)
+
+// Sweep is one experiment configuration.
+type Sweep struct {
+	// Algo is a registry name from internal/core.
+	Algo string
+	// Trials is the number of sampled (ID, port, coin) instantiations.
+	Trials int
+	// Seed derives all per-trial randomness.
+	Seed int64
+	// MaxRounds bounds each run (0 = 1<<18).
+	MaxRounds int
+}
+
+func (s Sweep) maxRounds() int {
+	if s.MaxRounds > 0 {
+		return s.MaxRounds
+	}
+	return 1 << 18
+}
+
+// DumbbellInstance builds a sampled dumbbell from the Theorem 3.1 family
+// for target per-side size n and edge budget m: a lollipop base graph, two
+// uniformly chosen clique edges opened, ports shuffled, IDs sampled from
+// [1, (2n)^4] with disjoint halves. It also returns the lollipop clique
+// size κ, which determines the invariant diameter 2(n−κ)+1.
+func DumbbellInstance(n, m int, rng *rand.Rand) (*graph.Dumbbell, int, error) {
+	base, err := graph.NewLollipop(n, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	left := base.Graph.Clone()
+	right := base.Graph.Clone()
+	left.ShufflePorts(rng)
+	right.ShufflePorts(rng)
+	ce := base.CliqueEdges()
+	e1 := ce[rng.Intn(len(ce))]
+	e2 := ce[rng.Intn(len(ce))]
+	db, err := graph.NewDumbbell(left, right, e1, e2)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db, base.Kappa, nil
+}
+
+// MessageRow is one dumbbell measurement.
+type MessageRow struct {
+	N, M, D      int
+	Algo         string
+	MsgsPerM     stats.Summary
+	BeforeCross  stats.Summary // messages before the first bridge crossing
+	CrossRound   stats.Summary // round of the first crossing (0 = never)
+	SuccessRate  float64
+	MeanMessages float64
+}
+
+// MessageLB runs the Theorem 3.1 experiment: algorithm msgs/m on sampled
+// dumbbells of per-side size n and edge budget m.
+func MessageLB(n, m int, sw Sweep) (MessageRow, error) {
+	rng := rand.New(rand.NewSource(sw.Seed))
+	var ratios, before, crossAt, msgs []float64
+	successes := 0
+	var dval int
+	for trial := 0; trial < sw.Trials; trial++ {
+		db, kappa, err := DumbbellInstance(n, m, rng)
+		if err != nil {
+			return MessageRow{}, err
+		}
+		dval = 2*(n-kappa) + 1
+		ids := sim.RandomIDs(db.N(), rng)
+		res, err := core.Run(db.Graph, sw.Algo, core.RunOpts{
+			Seed:       rng.Int63(),
+			IDs:        ids,
+			D:          dval,
+			MaxRounds:  sw.maxRounds(),
+			WatchEdges: db.Bridges[:],
+		})
+		if err != nil {
+			return MessageRow{}, fmt.Errorf("dumbbell n=%d m=%d: %w", n, m, err)
+		}
+		ratios = append(ratios, float64(res.Messages)/float64(db.M()))
+		msgs = append(msgs, float64(res.Messages))
+		before = append(before, float64(res.MessagesBeforeCrossing))
+		first := 0
+		for _, r := range res.FirstCrossing {
+			if first == 0 || (r > 0 && r < first) {
+				first = r
+			}
+		}
+		crossAt = append(crossAt, float64(first))
+		if res.UniqueLeader() {
+			successes++
+		}
+	}
+	return MessageRow{
+		N: n, M: m, D: dval, Algo: sw.Algo,
+		MsgsPerM:     stats.Summarize(ratios),
+		BeforeCross:  stats.Summarize(before),
+		CrossRound:   stats.Summarize(crossAt),
+		SuccessRate:  float64(successes) / float64(sw.Trials),
+		MeanMessages: stats.Summarize(msgs).Mean,
+	}, nil
+}
+
+// TimeRow is one clique-cycle measurement.
+type TimeRow struct {
+	N, D, DPrime int
+	Algo         string
+	RoundsPerD   stats.Summary
+	SuccessRate  float64
+}
+
+// TimeLB runs the Theorem 3.13 experiment: rounds/D on the Figure 1
+// clique-cycle with target size n and diameter parameter d.
+func TimeLB(n, d int, sw Sweep) (TimeRow, error) {
+	cc, err := graph.NewCliqueCycle(n, d)
+	if err != nil {
+		return TimeRow{}, err
+	}
+	diam := cc.DiameterExact()
+	rng := rand.New(rand.NewSource(sw.Seed))
+	var ratios []float64
+	successes := 0
+	for trial := 0; trial < sw.Trials; trial++ {
+		g := cc.Graph.Clone()
+		g.ShufflePorts(rng)
+		res, err := core.Run(g, sw.Algo, core.RunOpts{
+			Seed:      rng.Int63(),
+			IDs:       sim.RandomIDs(g.N(), rng),
+			D:         diam,
+			MaxRounds: sw.maxRounds(),
+		})
+		if err != nil {
+			return TimeRow{}, err
+		}
+		ratios = append(ratios, float64(res.LastActive)/float64(diam))
+		if res.UniqueLeader() {
+			successes++
+		}
+	}
+	return TimeRow{
+		N: cc.N(), D: diam, DPrime: cc.DPrime, Algo: sw.Algo,
+		RoundsPerD:  stats.Summarize(ratios),
+		SuccessRate: float64(successes) / float64(sw.Trials),
+	}, nil
+}
+
+// TruncatedRow measures election success under a hard round budget.
+type TruncatedRow struct {
+	N, D        int
+	Algo        string
+	BudgetFrac  float64 // allowed rounds as a fraction of D
+	SuccessRate float64
+}
+
+// TruncatedSuccess runs the Theorem 3.13 complement: cap the run at
+// frac·D rounds and measure how often a unique leader exists at the cap —
+// the paper's claim is that o(D) budgets cannot reach large constant
+// success probability on the clique-cycle.
+func TruncatedSuccess(n, d int, frac float64, sw Sweep) (TruncatedRow, error) {
+	cc, err := graph.NewCliqueCycle(n, d)
+	if err != nil {
+		return TruncatedRow{}, err
+	}
+	diam := cc.DiameterExact()
+	budget := int(frac * float64(diam))
+	if budget < 1 {
+		budget = 1
+	}
+	rng := rand.New(rand.NewSource(sw.Seed))
+	successes := 0
+	for trial := 0; trial < sw.Trials; trial++ {
+		g := cc.Graph.Clone()
+		g.ShufflePorts(rng)
+		res, err := core.Run(g, sw.Algo, core.RunOpts{
+			Seed:      rng.Int63(),
+			IDs:       sim.RandomIDs(g.N(), rng),
+			D:         diam,
+			MaxRounds: budget,
+		})
+		if err != nil {
+			return TruncatedRow{}, err
+		}
+		if res.UniqueLeader() {
+			successes++
+		}
+	}
+	return TruncatedRow{
+		N: cc.N(), D: diam, Algo: sw.Algo, BudgetFrac: frac,
+		SuccessRate: float64(successes) / float64(sw.Trials),
+	}, nil
+}
+
+// TrivialRow records the §1 zero-message algorithm's measured success.
+type TrivialRow struct {
+	N           int
+	Trials      int
+	SuccessRate float64 // should approach 1/e ≈ 0.368
+	Messages    int64
+}
+
+// TrivialSuccess measures the success probability of the 1/n self-election.
+func TrivialSuccess(n, trials int, seed int64) (TrivialRow, error) {
+	g := graph.Ring(n)
+	successes := 0
+	var msgs int64
+	for trial := 0; trial < trials; trial++ {
+		res, err := core.Run(g, "trivial", core.RunOpts{Seed: seed + int64(trial)})
+		if err != nil {
+			return TrivialRow{}, err
+		}
+		msgs += res.Messages
+		if res.UniqueLeader() {
+			successes++
+		}
+	}
+	return TrivialRow{
+		N: n, Trials: trials,
+		SuccessRate: float64(successes) / float64(trials),
+		Messages:    msgs,
+	}, nil
+}
+
+// BroadcastRow is one Corollary 3.12 measurement.
+type BroadcastRow struct {
+	N, M        int
+	MsgsPerM    stats.Summary
+	MajorityOK  float64
+	MeanRounds  float64
+	BeforeCross stats.Summary
+}
+
+// BroadcastLB measures flooding-broadcast messages/m on sampled dumbbells,
+// with the source on the left half so the majority condition forces a
+// bridge crossing.
+func BroadcastLB(n, m int, trials int, seed int64) (BroadcastRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var ratios, before, rounds []float64
+	majority := 0
+	for trial := 0; trial < trials; trial++ {
+		db, _, err := DumbbellInstance(n, m, rng)
+		if err != nil {
+			return BroadcastRow{}, err
+		}
+		source := rng.Intn(n) // left half
+		res, err := sim.Run(sim.Config{
+			Graph:      db.Graph,
+			IDs:        sim.RandomIDs(db.N(), rng),
+			Seed:       rng.Int63(),
+			Wake:       broadcast.Config(db.N(), source),
+			WatchEdges: db.Bridges[:],
+			MaxRounds:  1 << 18,
+		}, broadcast.Flood{Source: source})
+		if err != nil {
+			return BroadcastRow{}, err
+		}
+		ratios = append(ratios, float64(res.Messages)/float64(db.M()))
+		before = append(before, float64(res.MessagesBeforeCrossing))
+		rounds = append(rounds, float64(res.LastActive))
+		if broadcast.ReachedMajority(res) {
+			majority++
+		}
+	}
+	return BroadcastRow{
+		N: 2 * n, M: m,
+		MsgsPerM:    stats.Summarize(ratios),
+		MajorityOK:  float64(majority) / float64(trials),
+		MeanRounds:  stats.Summarize(rounds).Mean,
+		BeforeCross: stats.Summarize(before),
+	}, nil
+}

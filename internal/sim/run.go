@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DefaultMaxRounds bounds runs whose protocols fail to terminate.
+const DefaultMaxRounds = 1 << 20
+
+// DefaultBitCap returns the default CONGEST per-message budget for an
+// n-node network: 32·⌈log2(n+2)⌉ + 64 bits, a generous Θ(log n).
+func DefaultBitCap(n int) int {
+	return 32*bits.Len(uint(n+2)) + 64
+}
+
+// Run executes protocol p on the configured network and returns the run
+// summary. It returns an error for invalid configurations and for model
+// violations committed by the protocol (double sends, oversized CONGEST
+// messages).
+func Run(cfg Config, p Protocol) (*Result, error) {
+	g := cfg.Graph
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrConfig)
+	}
+	n := g.N()
+	if cfg.IDs != nil {
+		if len(cfg.IDs) != n {
+			return nil, fmt.Errorf("%w: len(IDs)=%d want %d", ErrConfig, len(cfg.IDs), n)
+		}
+		seen := make(map[int64]bool, n)
+		for _, id := range cfg.IDs {
+			if seen[id] {
+				return nil, fmt.Errorf("%w: duplicate ID %d", ErrConfig, id)
+			}
+			seen[id] = true
+		}
+	}
+	if cfg.Wake != nil && len(cfg.Wake) != n {
+		return nil, fmt.Errorf("%w: len(Wake)=%d want %d", ErrConfig, len(cfg.Wake), n)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = CONGEST
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	bitCap := cfg.BitCap
+	if bitCap <= 0 {
+		bitCap = DefaultBitCap(n)
+	}
+	sendCap := cfg.PortSendCap
+	if sendCap <= 0 {
+		if cfg.Mode == LOCAL {
+			sendCap = 0 // unlimited
+		} else {
+			sendCap = 8
+		}
+	}
+
+	e := &engine{cfg: cfg, g: g, bitCap: bitCap, sendCap: sendCap}
+	e.portBack = make([][]int, n)
+	e.outbox = make([][][]Payload, n)
+	e.inbox = make([][]Message, n)
+	e.status = make([]Status, n)
+	e.halted = make([]bool, n)
+	e.changed = make([]bool, n)
+	e.nodeErr = make([]error, n)
+	e.awake = make([]bool, n)
+	e.procs = make([]Process, n)
+	e.ctxs = make([]Context, n)
+	for u := 0; u < n; u++ {
+		deg := g.Degree(u)
+		e.portBack[u] = make([]int, deg)
+		for p := 0; p < deg; p++ {
+			v := g.Neighbor(u, p)
+			back := g.PortTo(v, u)
+			if back < 0 {
+				return nil, fmt.Errorf("%w: asymmetric adjacency at (%d,%d)", ErrConfig, u, v)
+			}
+			e.portBack[u][p] = back
+		}
+		e.outbox[u] = make([][]Payload, deg)
+		var id int64
+		hasID := false
+		if cfg.IDs != nil {
+			id = cfg.IDs[u]
+			hasID = true
+		}
+		info := NodeInfo{ID: id, HasID: hasID, Degree: deg, Know: cfg.Know}
+		e.procs[u] = p.New(info)
+		e.ctxs[u] = Context{
+			eng:  e,
+			node: u,
+			info: info,
+			rng:  rand.New(rand.NewSource(NodeSeed(cfg.Seed, u))),
+		}
+	}
+	if len(cfg.WatchEdges) > 0 {
+		e.watch = make(map[[2]int]bool, len(cfg.WatchEdges))
+		e.res.FirstCrossing = make(map[[2]int]int, len(cfg.WatchEdges))
+		for _, w := range cfg.WatchEdges {
+			e.watch[normPair(w[0], w[1])] = true
+		}
+	}
+	if cfg.CountPerEdge {
+		e.perEdge = make(map[[2]int]int64)
+		e.res.PerEdge = e.perEdge
+	}
+
+	e.loop(maxRounds)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.res.Statuses = append([]Status(nil), e.status...)
+	for u, s := range e.status {
+		if s == Leader {
+			e.res.Leaders = append(e.res.Leaders, u)
+		}
+	}
+	e.res.Halted = true
+	for _, h := range e.halted {
+		if !h {
+			e.res.Halted = false
+			break
+		}
+	}
+	res := e.res
+	return &res, nil
+}
+
+func normPair(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (e *engine) loop(maxRounds int) {
+	n := e.g.N()
+	crossed := len(e.watch) == 0 // true once any watched edge was crossed
+	for e.round = 1; e.round <= maxRounds; e.round++ {
+		// Phase 1: deliver last round's outboxes into inboxes and account.
+		sentThisDelivery := int64(0)
+		for u := 0; u < n; u++ {
+			e.inbox[u] = e.inbox[u][:0]
+		}
+		for u := 0; u < n; u++ {
+			for p, pls := range e.outbox[u] {
+				if len(pls) == 0 {
+					continue
+				}
+				v := e.g.Neighbor(u, p)
+				back := e.portBack[u][p]
+				key := normPair(u, v)
+				for _, pl := range pls {
+					e.inbox[v] = append(e.inbox[v], Message{Port: back, Payload: pl})
+					sentThisDelivery++
+					b := pl.Bits()
+					e.res.Bits += int64(b)
+					if b > e.res.MaxMsgBits {
+						e.res.MaxMsgBits = b
+					}
+					if e.perEdge != nil {
+						e.perEdge[key]++
+					}
+					if e.watch != nil && e.watch[key] {
+						if e.res.FirstCrossing[key] == 0 {
+							e.res.FirstCrossing[key] = e.round
+						}
+						crossed = true
+					}
+				}
+				e.outbox[u][p] = e.outbox[u][p][:0]
+			}
+		}
+		if sentThisDelivery > 0 {
+			e.res.LastActive = e.round
+		}
+		e.res.Messages += sentThisDelivery
+		if !crossed {
+			// Snapshot after this round's deliveries: messages delivered in
+			// rounds up to (and excluding) the first crossing round.
+			e.res.MessagesBeforeCrossing = e.res.Messages
+		}
+		// Deterministic inbox order: ascending receiving port, preserving
+		// the sender's send order within a port.
+		for u := 0; u < n; u++ {
+			in := e.inbox[u]
+			sort.SliceStable(in, func(i, j int) bool { return in[i].Port < in[j].Port })
+		}
+
+		// Phase 2: wake-ups.
+		anySleeping := false
+		for u := 0; u < n; u++ {
+			if e.awake[u] {
+				continue
+			}
+			wakeRound := 1
+			if e.cfg.Wake != nil {
+				wakeRound = e.cfg.Wake[u]
+			}
+			spontaneous := wakeRound > 0 && e.round >= wakeRound
+			byMessage := len(e.inbox[u]) > 0
+			if spontaneous || byMessage {
+				e.awake[u] = true
+				e.ctxs[u].spontaneous = spontaneous && !byMessage
+				e.procs[u].Start(&e.ctxs[u])
+			} else {
+				anySleeping = true
+			}
+		}
+
+		// Phase 3: run the round on all awake, non-halted nodes.
+		if e.cfg.Parallel {
+			e.stepParallel()
+		} else {
+			for u := 0; u < n; u++ {
+				if e.awake[u] && !e.halted[u] {
+					e.procs[u].Round(&e.ctxs[u], e.inbox[u])
+				}
+			}
+		}
+		// Merge per-node scratch state produced during Start/Round calls.
+		for u := 0; u < n; u++ {
+			if e.changed[u] {
+				e.changed[u] = false
+				e.res.LastActive = e.round
+			}
+			if e.nodeErr[u] != nil && e.err == nil {
+				e.err = e.nodeErr[u]
+			}
+		}
+		if e.err != nil {
+			return
+		}
+
+		// Phase 4: stopping conditions.
+		pending := false
+		for u := 0; u < n && !pending; u++ {
+			for _, pls := range e.outbox[u] {
+				if len(pls) > 0 {
+					pending = true
+					break
+				}
+			}
+		}
+		allHalted := true
+		anyRunning := false
+		for u := 0; u < n; u++ {
+			if !e.halted[u] {
+				allHalted = false
+				if e.awake[u] {
+					anyRunning = true
+				}
+			}
+		}
+		if allHalted && !pending {
+			e.res.Rounds = e.round
+			return
+		}
+		if !pending && !anyRunning && anySleeping {
+			// Deadlock: only never-woken sleepers remain and nothing is in
+			// flight; nothing can ever happen again.
+			e.res.Rounds = e.round
+			return
+		}
+		if e.cfg.StopWhenQuiet && !pending {
+			allDecided := true
+			for _, s := range e.status {
+				if s == Undecided {
+					allDecided = false
+					break
+				}
+			}
+			if allDecided {
+				e.res.Rounds = e.round
+				return
+			}
+		}
+	}
+	e.res.Rounds = maxRounds
+	e.res.HitRoundCap = true
+}
+
+// stepParallel runs one round's node steps on a worker pool. Each node's
+// step touches only its own state and its own outbox row, so this is
+// race-free and produces exactly the sequential results.
+func (e *engine) stepParallel() {
+	n := e.g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			if e.awake[u] && !e.halted[u] {
+				e.procs[u].Round(&e.ctxs[u], e.inbox[u])
+			}
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	const chunk = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for u := lo; u < hi; u++ {
+					if e.awake[u] && !e.halted[u] {
+						e.procs[u].Round(&e.ctxs[u], e.inbox[u])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

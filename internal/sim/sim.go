@@ -1,0 +1,360 @@
+// Package sim implements the synchronous message-passing network model of
+// the paper: computation proceeds in rounds; in every round each awake node
+// receives the messages its neighbors sent in the previous round, performs
+// local computation (with access to private unbiased coins), and sends at
+// most one message per incident port.
+//
+// Two execution modes mirror the paper's models:
+//
+//   - CONGEST: every message is charged its encoded size in bits and must
+//     fit the per-message bit budget (Θ(log n) by default);
+//   - LOCAL: message size is unrestricted (used by the lower-bound
+//     experiments, which hold even in LOCAL).
+//
+// The engine is deterministic given (graph, protocol, seed): node coins are
+// derived from the run seed with splitmix64, and inboxes are delivered in
+// port order. A goroutine-parallel runner with identical observable
+// behaviour is provided for multi-core experiment sweeps.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ule/internal/graph"
+)
+
+// Status is the leader-election output state of a node, per the paper's
+// definition (status_u ∈ {⊥, non-elected, elected}).
+type Status int
+
+// Election statuses. Undecided is the initial ⊥ state.
+const (
+	Undecided Status = iota
+	Leader
+	NonLeader
+)
+
+func (s Status) String() string {
+	switch s {
+	case Leader:
+		return "elected"
+	case NonLeader:
+		return "non-elected"
+	default:
+		return "undecided"
+	}
+}
+
+// Mode selects the communication model.
+type Mode int
+
+// Communication models (see package comment).
+const (
+	CONGEST Mode = iota + 1
+	LOCAL
+)
+
+// Payload is the content of a message. Bits reports the encoded size used
+// for CONGEST accounting; implementations should charge Θ(log n) bits per
+// ID/rank/counter field.
+type Payload interface {
+	Bits() int
+}
+
+// Message is a payload delivered through a local port.
+type Message struct {
+	// Port is the receiving node's port through which the message arrived.
+	Port int
+	// Payload is the message content.
+	Payload Payload
+}
+
+// Knowledge records which global parameters the nodes are given a priori,
+// matching the "Knowledge" column of Table 1.
+type Knowledge struct {
+	N, M, D          int
+	HasN, HasM, HasD bool
+}
+
+// NodeInfo is the static information available to a node at creation.
+type NodeInfo struct {
+	// ID is the node's unique identifier (0 and HasID=false when anonymous).
+	ID int64
+	// HasID reports whether the network is non-anonymous.
+	HasID bool
+	// Degree is the number of incident ports.
+	Degree int
+	// Know holds the a-priori known global parameters.
+	Know Knowledge
+}
+
+// Process is a per-node state machine. The engine calls Start exactly once,
+// in the node's wake-up round (before the Round call of that round), and
+// Round every round while the node is awake and not halted.
+type Process interface {
+	Start(c *Context)
+	Round(c *Context, inbox []Message)
+}
+
+// Protocol creates the per-node processes of a distributed algorithm.
+type Protocol interface {
+	// Name returns a short identifier for reporting.
+	Name() string
+	// New returns the process run by a node with the given static info.
+	New(info NodeInfo) Process
+}
+
+// Context is the per-node handle through which a process observes and acts
+// on the network. It is only valid during the Start/Round call that received
+// it.
+type Context struct {
+	eng  *engine
+	node int
+	info NodeInfo
+	rng  *rand.Rand
+
+	spontaneous bool
+}
+
+// ID returns the node's unique identifier (0 in anonymous networks).
+func (c *Context) ID() int64 { return c.info.ID }
+
+// HasID reports whether the network is non-anonymous.
+func (c *Context) HasID() bool { return c.info.HasID }
+
+// Degree returns the number of incident ports.
+func (c *Context) Degree() int { return c.info.Degree }
+
+// Know returns the a-priori knowledge configured for this run.
+func (c *Context) Know() Knowledge { return c.info.Know }
+
+// Round returns the current round number (1-based).
+func (c *Context) Round() int { return c.eng.round }
+
+// Rand returns the node's private source of unbiased coins. It is
+// deterministic given the run seed and the node index.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// SpontaneousWake reports whether the node woke by schedule (true) or by
+// receiving a message (false). Only meaningful during Start.
+func (c *Context) SpontaneousWake() bool { return c.spontaneous }
+
+// Send transmits payload through the given port; it is delivered to the
+// neighbor at the start of the next round. Sending twice through the same
+// port in one round, or using an invalid port, aborts the run with an error
+// (it would violate the model).
+func (c *Context) Send(port int, p Payload) {
+	c.eng.send(c.node, port, p)
+}
+
+// Broadcast sends payload through every port.
+func (c *Context) Broadcast(p Payload) {
+	for port := 0; port < c.info.Degree; port++ {
+		c.eng.send(c.node, port, p)
+	}
+}
+
+// BroadcastExcept sends payload through every port except skip (pass a
+// negative skip to send on all ports).
+func (c *Context) BroadcastExcept(skip int, p Payload) {
+	for port := 0; port < c.info.Degree; port++ {
+		if port != skip {
+			c.eng.send(c.node, port, p)
+		}
+	}
+}
+
+// Decide sets the node's election status.
+func (c *Context) Decide(s Status) {
+	c.eng.decide(c.node, s)
+}
+
+// Status returns the node's current election status.
+func (c *Context) Status() Status { return c.eng.status[c.node] }
+
+// Halt marks the node as finished: it receives no further Round calls and
+// discards any messages that arrive later (they are still counted).
+func (c *Context) Halt() {
+	c.eng.halted[c.node] = true
+}
+
+// WakeOnMessage is the Config.Wake value for nodes that sleep until the
+// first message arrives (the adversarial-wakeup model).
+const WakeOnMessage = -1
+
+// Config describes one run of a protocol on a graph.
+type Config struct {
+	Graph *graph.Graph
+	// IDs assigns unique identifiers; nil means an anonymous network.
+	IDs []int64
+	// Know is the a-priori knowledge handed to every node.
+	Know Knowledge
+	// Seed drives all node coins; identical seeds reproduce runs exactly.
+	Seed int64
+	// Mode selects CONGEST (default) or LOCAL.
+	Mode Mode
+	// BitCap overrides the per-message bit budget in CONGEST mode
+	// (default: 32·⌈log2(n+2)⌉ + 64, a generous Θ(log n)).
+	BitCap int
+	// MaxRounds bounds the execution (default 1 << 20).
+	MaxRounds int
+	// PortSendCap bounds the number of messages a node may send through
+	// one port in one round (default 8 in CONGEST mode, unlimited in
+	// LOCAL). A constant number of Θ(log n)-bit messages per edge per
+	// round is the usual constant-factor relaxation of CONGEST; every
+	// message still counts individually toward the message complexity.
+	PortSendCap int
+	// Wake gives each node's wake-up round (1-based), or WakeOnMessage.
+	// nil means simultaneous wake-up at round 1.
+	Wake []int
+	// StopWhenQuiet stops the run at the end of the first round with no
+	// messages in flight and every node decided. Protocols that wait in
+	// silence (e.g. counting D rounds) must leave this false and halt
+	// explicitly.
+	StopWhenQuiet bool
+	// WatchEdges lists edges whose first crossing round is recorded
+	// (the "bridge crossing" instrument of Lemma 3.5).
+	WatchEdges [][2]int
+	// CountPerEdge enables per-edge message counting.
+	CountPerEdge bool
+	// Parallel runs node steps on a worker pool; observable behaviour is
+	// identical to the sequential runner.
+	Parallel bool
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// LastActive is the last round in which any message was sent or any
+	// status changed; for protocols that linger silently this is the
+	// natural "time" measurement.
+	LastActive int
+	// Messages is the total number of messages sent.
+	Messages int64
+	// Bits is the total number of payload bits sent.
+	Bits int64
+	// MaxMsgBits is the largest single payload observed.
+	MaxMsgBits int
+	// Statuses holds each node's final election status.
+	Statuses []Status
+	// Leaders lists the nodes that ended in status elected.
+	Leaders []int
+	// Halted reports whether every node halted (clean termination).
+	Halted bool
+	// HitRoundCap reports whether the run stopped at MaxRounds.
+	HitRoundCap bool
+	// FirstCrossing maps each watched edge (normalized low,high) to the
+	// first round a message crossed it in either direction (0 = never).
+	FirstCrossing map[[2]int]int
+	// MessagesBeforeCrossing counts messages sent strictly before the
+	// first crossing of any watched edge (only tracked with WatchEdges).
+	MessagesBeforeCrossing int64
+	// PerEdge counts messages per normalized edge when CountPerEdge.
+	PerEdge map[[2]int]int64
+}
+
+// LeaderCount returns the number of elected nodes.
+func (r *Result) LeaderCount() int { return len(r.Leaders) }
+
+// UniqueLeader reports whether exactly one node is elected and every other
+// node is non-elected — the paper's success condition for leader election.
+func (r *Result) UniqueLeader() bool {
+	if len(r.Leaders) != 1 {
+		return false
+	}
+	for _, s := range r.Statuses {
+		if s == Undecided {
+			return false
+		}
+	}
+	return true
+}
+
+// engine holds the mutable run state.
+type engine struct {
+	cfg   Config
+	g     *graph.Graph
+	round int
+
+	// portBack[u][p] is the port at Neighbor(u,p) leading back to u.
+	portBack [][]int
+
+	// outbox[u][p] collects the payloads u sends via p this round.
+	outbox [][][]Payload
+	// inbox[u] holds the messages delivered to u this round.
+	inbox [][]Message
+
+	status  []Status
+	halted  []bool
+	awake   []bool
+	changed []bool
+	nodeErr []error
+	procs   []Process
+	ctxs    []Context
+	bitCap  int
+	sendCap int
+	watch   map[[2]int]bool
+	perEdge map[[2]int]int64
+
+	res Result
+	err error
+}
+
+// Errors produced by model violations inside protocols.
+var (
+	ErrDoubleSend = errors.New("sim: per-port per-round send cap exceeded")
+	ErrBadPort    = errors.New("sim: send on invalid port")
+	ErrBitCap     = errors.New("sim: CONGEST message exceeds bit budget")
+	ErrConfig     = errors.New("sim: invalid config")
+)
+
+// send and decide write only per-node slots (outbox row, status, scratch
+// error/changed flags); the engine merges scratch state after each round.
+// This keeps node steps race-free under the parallel runner.
+func (e *engine) send(u, port int, p Payload) {
+	if e.nodeErr[u] != nil {
+		return
+	}
+	if port < 0 || port >= e.g.Degree(u) {
+		e.nodeErr[u] = fmt.Errorf("%w: node %d port %d (degree %d)", ErrBadPort, u, port, e.g.Degree(u))
+		return
+	}
+	if e.sendCap > 0 && len(e.outbox[u][port]) >= e.sendCap {
+		e.nodeErr[u] = fmt.Errorf("%w: node %d port %d round %d cap %d", ErrDoubleSend, u, port, e.round, e.sendCap)
+		return
+	}
+	if p == nil {
+		e.nodeErr[u] = fmt.Errorf("%w: nil payload from node %d", ErrConfig, u)
+		return
+	}
+	bits := p.Bits()
+	if e.cfg.Mode != LOCAL && bits > e.bitCap {
+		e.nodeErr[u] = fmt.Errorf("%w: %d bits > cap %d (node %d round %d payload %T)",
+			ErrBitCap, bits, e.bitCap, u, e.round, p)
+		return
+	}
+	e.outbox[u][port] = append(e.outbox[u][port], p)
+}
+
+func (e *engine) decide(u int, s Status) {
+	if e.status[u] != s {
+		e.status[u] = s
+		e.changed[u] = true
+	}
+}
+
+// splitmix64 provides high-quality seed derivation for per-node RNGs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NodeSeed derives the deterministic RNG seed of node u for run seed s.
+func NodeSeed(s int64, u int) int64 {
+	return int64(splitmix64(uint64(s) ^ splitmix64(uint64(u)+0x5bd1e995)))
+}

@@ -1,0 +1,257 @@
+// Package spanner implements the distributed Baswana–Sen randomized
+// (2k−1)-spanner construction [6] used by Corollary 4.2: in O(k²) rounds
+// and O(k·m) messages it selects an expected O(k·n^(1+1/k)) subset of edges
+// that preserves connectivity with stretch at most 2k−1.
+//
+// The construction runs k−1 clustering iterations. Initially every vertex
+// is a singleton cluster. In iteration i, every cluster is sampled with
+// probability n^(−1/k); a vertex of an unsampled cluster joins an adjacent
+// sampled cluster if one exists (adding the connecting edge to the spanner)
+// and otherwise adds one edge toward every adjacent cluster and settles
+// (drops out of the clustering). A final iteration adds one edge per
+// adjacent cluster for all still-clustered vertices.
+//
+// The package exposes a per-node state Machine on a fixed, globally known
+// round schedule, so that an embedding protocol (core's spanner-le) can
+// drive it inside the sim engine and switch to election when it finishes.
+package spanner
+
+import (
+	"math"
+	"sort"
+
+	"ule/internal/sim"
+)
+
+// Message kinds.
+const (
+	kindSample  uint8 = iota + 1 // down-tree sampling verdict
+	kindCluster                  // neighbor announcement (cluster, sampled)
+	kindJoin                     // join a sampled cluster through this edge
+	kindMark                     // this edge entered the spanner
+)
+
+// Msg is the wire format of the construction.
+type Msg struct {
+	Kind    uint8
+	Cluster int64
+	Sampled bool
+}
+
+// Bits implements sim.Payload.
+func (m Msg) Bits() int { return 3 + sim.BitsFor(m.Cluster) + 1 }
+
+// TotalRounds returns the fixed schedule length for parameter k: k−1
+// iterations of i+3 rounds (sampling broadcast of depth i, neighbor
+// exchange, join/settle, acknowledgment) plus a 3-round final iteration.
+func TotalRounds(k int) int {
+	t := 0
+	for i := 0; i <= k-2; i++ {
+		t += i + 3
+	}
+	return t + 3
+}
+
+// Machine is the per-node spanner construction state machine.
+type Machine struct {
+	k       int
+	n       int
+	prob    float64
+	cluster int64
+	sampled bool
+	active  bool
+	center  bool
+	parent  int // port toward center, -1 at center
+	childs  map[int]bool
+	marked  map[int]bool
+
+	// nbrs holds this iteration's neighbor announcements (port -> msg).
+	nbrs map[int]Msg
+}
+
+// New creates the machine for a node. The identity must be unique (node ID
+// or a random token in anonymous networks); n and k must be network-wide
+// constants.
+func New(identity int64, n, k int) *Machine {
+	if k < 2 {
+		k = 2
+	}
+	return &Machine{
+		k:       k,
+		n:       n,
+		prob:    math.Pow(float64(n), -1/float64(k)),
+		cluster: identity,
+		active:  true,
+		center:  true,
+		parent:  -1,
+		childs:  make(map[int]bool),
+		marked:  make(map[int]bool),
+	}
+}
+
+// Ports returns the sorted list of ports whose edges entered the spanner.
+// Valid once Step has reported done.
+func (m *Machine) Ports() []int {
+	ports := make([]int, 0, len(m.marked))
+	for p := range m.marked {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	return ports
+}
+
+// Step advances the machine by one round. rel is the round index relative
+// to the construction start (0-based); msgs are this round's spanner
+// messages. It reports whether the construction is finished.
+func (m *Machine) Step(c *sim.Context, rel int, msgs []sim.Message) bool {
+	// Locate (iteration, offset) on the fixed schedule.
+	iter, off, rest := 0, rel, rel
+	for iter <= m.k-2 && rest >= iter+3 {
+		rest -= iter + 3
+		iter++
+		off = rest
+	}
+	final := iter > m.k-2
+
+	// Always process marks/joins first: they are edge-level and carry no
+	// schedule dependency.
+	var clusterAnns []sim.Message
+	var sample *Msg
+	for _, in := range msgs {
+		mm, ok := in.Payload.(Msg)
+		if !ok {
+			continue
+		}
+		switch mm.Kind {
+		case kindMark:
+			m.marked[in.Port] = true
+		case kindJoin:
+			m.marked[in.Port] = true
+			m.childs[in.Port] = true
+		case kindCluster:
+			clusterAnns = append(clusterAnns, in)
+		case kindSample:
+			v := mm
+			sample = &v
+		}
+	}
+	if sample != nil && m.active && !m.center {
+		// Sampling verdict travels down the cluster tree.
+		m.sampled = sample.Sampled
+		for p := range m.childs {
+			c.Send(p, Msg{Kind: kindSample, Cluster: m.cluster, Sampled: m.sampled})
+		}
+	}
+
+	switch {
+	case final:
+		m.finalStep(c, off, clusterAnns)
+		return off >= 2
+	default:
+		m.iterStep(c, iter, off, clusterAnns)
+		return false
+	}
+}
+
+// iterStep runs one round of clustering iteration iter at offset off.
+func (m *Machine) iterStep(c *sim.Context, iter, off int, anns []sim.Message) {
+	if off == 0 {
+		m.nbrs = make(map[int]Msg)
+		if m.active && m.center {
+			// Centers flip the sampling coin and push the verdict down.
+			m.sampled = c.Rand().Float64() < m.prob
+			for p := range m.childs {
+				c.Send(p, Msg{Kind: kindSample, Cluster: m.cluster, Sampled: m.sampled})
+			}
+		}
+	}
+	for _, in := range anns {
+		m.nbrs[in.Port], _ = in.Payload.(Msg)
+	}
+	if off == iter && m.active {
+		// Everyone knows its cluster's verdict now (tree depth <= iter):
+		// announce to all neighbors.
+		c.Broadcast(Msg{Kind: kindCluster, Cluster: m.cluster, Sampled: m.sampled})
+	}
+	if off == iter+1 && m.active && !m.sampled {
+		// Members of unsampled clusters join or settle.
+		joinPort := -1
+		for _, p := range sortedPorts(m.nbrs) {
+			if m.nbrs[p].Sampled {
+				joinPort = p
+				break
+			}
+		}
+		if joinPort >= 0 {
+			m.join(c, joinPort)
+			return
+		}
+		m.settle(c)
+	}
+}
+
+// join moves this vertex into the sampled cluster announced on port p.
+func (m *Machine) join(c *sim.Context, p int) {
+	ann := m.nbrs[p]
+	m.cluster = ann.Cluster
+	m.sampled = true
+	m.center = false
+	m.parent = p
+	m.childs = make(map[int]bool)
+	m.marked[p] = true
+	c.Send(p, Msg{Kind: kindJoin, Cluster: m.cluster})
+}
+
+// settle adds one spanner edge toward every adjacent cluster and retires
+// this vertex from the clustering.
+func (m *Machine) settle(c *sim.Context) {
+	m.active = false
+	m.center = false
+	picked := make(map[int64]bool)
+	for _, p := range sortedPorts(m.nbrs) {
+		ann := m.nbrs[p]
+		if ann.Cluster == m.cluster || picked[ann.Cluster] {
+			continue
+		}
+		picked[ann.Cluster] = true
+		m.marked[p] = true
+		c.Send(p, Msg{Kind: kindMark, Cluster: ann.Cluster})
+	}
+}
+
+// finalStep is the last iteration: still-clustered vertices add one edge
+// per adjacent (foreign) cluster.
+func (m *Machine) finalStep(c *sim.Context, off int, anns []sim.Message) {
+	switch off {
+	case 0:
+		m.nbrs = make(map[int]Msg)
+		if m.active {
+			c.Broadcast(Msg{Kind: kindCluster, Cluster: m.cluster, Sampled: m.sampled})
+		}
+	case 1:
+		for _, in := range anns {
+			m.nbrs[in.Port], _ = in.Payload.(Msg)
+		}
+		if m.active {
+			picked := make(map[int64]bool)
+			for _, p := range sortedPorts(m.nbrs) {
+				ann := m.nbrs[p]
+				if ann.Cluster == m.cluster || picked[ann.Cluster] {
+					continue
+				}
+				picked[ann.Cluster] = true
+				m.marked[p] = true
+				c.Send(p, Msg{Kind: kindMark, Cluster: ann.Cluster})
+			}
+		}
+	}
+}
+
+func sortedPorts(m map[int]Msg) []int {
+	ports := make([]int, 0, len(m))
+	for p := range m {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	return ports
+}

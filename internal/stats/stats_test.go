@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("got %+v", s)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	if got := Summarize(nil); got.Count != 0 {
+		t.Errorf("empty sample: %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Errorf("singleton: %+v", one)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Std >= 0 && s.Count == len(xs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 1000.25)
+	if tb.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+	text := tb.String()
+	for _, want := range []string{"demo", "a", "bb", "2.500", "1000.2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "|---|---|") {
+		t.Errorf("bad markdown:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Errorf("bad csv:\n%s", csv)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"}, {3.14159, "3.142"}, {123.456, "123.5"}, {-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.v); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+	if math.IsNaN(1) {
+		t.Fatal("unreachable")
+	}
+}
