@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke sweep-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One iteration per benchmark: proves the bench harness still runs without
+# paying for a full measurement sweep.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# A tiny end-to-end sweep through the parallel harness: every registered
+# algorithm on two graph families, JSON document discarded after parsing.
+sweep-smoke:
+	$(GO) run ./cmd/ule-experiments -sweep builtin:smoke -workers 4 -json - -progress=false > /dev/null
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything the CI pipeline runs, in the same order.
+ci: fmt-check vet build race bench-smoke sweep-smoke

@@ -9,17 +9,31 @@
 //	E6–E14            one upper-bound sweep per Table 1 row
 //	E15 Table 1       head-to-head synthesis on a common graph set
 //
+// The lower-bound experiments (E1–E5) sample fresh adversarial instances
+// per trial through internal/lowerbound; every upper-bound sweep (E6–E15)
+// is a declarative internal/harness spec executed on the work-stealing
+// pool, so -workers parallelizes them across cores.
+//
 // Use -quick for a reduced sweep (CI-sized), -csv for machine output.
+//
+// Ad-hoc sweeps bypass the experiment tables entirely:
+//
+//	ule-experiments -sweep spec.json -workers 8 -json out.json
+//	ule-experiments -sweep builtin:smoke -csv-out trials.csv
+//
+// The sweep spec JSON schema is documented in docs/SWEEP_SCHEMA.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
 	"ule/internal/core"
-	"ule/internal/graph"
+	"ule/internal/harness"
 	"ule/internal/lowerbound"
 	"ule/internal/sim"
 	"ule/internal/stats"
@@ -32,27 +46,37 @@ func main() {
 	}
 }
 
-type harness struct {
-	quick  bool
-	seed   int64
-	trials int
-	csv    bool
+// driver carries the experiment-wide settings into each table builder.
+type driver struct {
+	quick   bool
+	seed    int64
+	trials  int
+	csv     bool
+	workers int
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ule-experiments", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "reduced sweep sizes")
-		seed  = fs.Int64("seed", 42, "base seed")
-		csv   = fs.Bool("csv", false, "emit CSV instead of markdown")
-		only  = fs.String("only", "", "run a single experiment id (e.g. E3)")
+		quick    = fs.Bool("quick", false, "reduced sweep sizes")
+		seed     = fs.Int64("seed", 42, "base seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of markdown")
+		only     = fs.String("only", "", "run a single experiment id (e.g. E3)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
+		sweep    = fs.String("sweep", "", "run a declarative sweep instead of the experiments: JSON spec file or builtin:smoke")
+		jsonOut  = fs.String("json", "", "sweep mode: write the ule-sweep/v1 JSON document to this file (- for stdout)")
+		csvOut   = fs.String("csv-out", "", "sweep mode: write per-trial CSV to this file (- for stdout)")
+		progress = fs.Bool("progress", true, "sweep mode: report progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	h := &harness{quick: *quick, seed: *seed, trials: 10, csv: *csv}
+	if *sweep != "" {
+		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *progress)
+	}
+	d := &driver{quick: *quick, seed: *seed, trials: 10, csv: *csv, workers: *workers}
 	if *quick {
-		h.trials = 3
+		d.trials = 3
 	}
 	type exp struct {
 		id  string
@@ -60,21 +84,21 @@ func run(args []string) error {
 		ann string
 	}
 	exps := []exp{
-		{"E1", h.e1MessageLB, "Thm 3.1: every universal algorithm pays Ω(m) messages on dumbbells (msgs/m stays ≥ ~1 as m grows)"},
-		{"E2", h.e2Bridge, "Lemma 3.5: elections must cross a bridge; messages precede the crossing"},
-		{"E3", h.e3TimeLB, "Thm 3.13 / Fig. 1: rounds/D stays ≥ ~1 on clique-cycles; truncated budgets kill success"},
-		{"E4", h.e4Trivial, "§1: the 1/n self-election succeeds w.p. ≈ 1/e at zero messages"},
-		{"E5", h.e5Broadcast, "Cor 3.12: flooding broadcast costs Θ(m) (≈2 msgs/edge) on dumbbells"},
-		{"E6", h.e6DFS, "Thm 4.1: msgs/m bounded by a constant; time grows exponentially with min ID"},
-		{"E7", h.e7LeastElF, "Thm 4.4: messages scale with m·log f(n); success rises with f(n)"},
-		{"E8", h.e8LogLog, "Thm 4.4.(A): msgs/(m·log log n) bounded, success whp"},
-		{"E9", h.e9Const, "Thm 4.4.(B): msgs/m bounded; success ≥ 1−ε across ε"},
-		{"E10", h.e10Spanner, "Cor 4.2: on dense graphs spanner+LE gets O(m) msgs and O(D) time"},
-		{"E11", h.e11Estimate, "Cor 4.5: no knowledge of n; msgs/(m·log n) bounded; prob 1"},
-		{"E12", h.e12LasVegas, "Cor 4.6: expected O(D) time / O(m) msgs with restarts"},
-		{"E13", h.e13Cluster, "Thm 4.7: msgs/(m+n log n) bounded; time O(D log n)"},
-		{"E14", h.e14Kingdom, "Thm 4.10: deterministic, msgs/(m log n) and rounds/(D log n) bounded"},
-		{"E15", h.e15Table1, "Table 1 head-to-head on a common graph"},
+		{"E1", d.e1MessageLB, "Thm 3.1: every universal algorithm pays Ω(m) messages on dumbbells (msgs/m stays ≥ ~1 as m grows)"},
+		{"E2", d.e2Bridge, "Lemma 3.5: elections must cross a bridge; messages precede the crossing"},
+		{"E3", d.e3TimeLB, "Thm 3.13 / Fig. 1: rounds/D stays ≥ ~1 on clique-cycles; truncated budgets kill success"},
+		{"E4", d.e4Trivial, "§1: the 1/n self-election succeeds w.p. ≈ 1/e at zero messages"},
+		{"E5", d.e5Broadcast, "Cor 3.12: flooding broadcast costs Θ(m) (≈2 msgs/edge) on dumbbells"},
+		{"E6", d.e6DFS, "Thm 4.1: msgs/m bounded by a constant; time grows exponentially with min ID"},
+		{"E7", d.e7LeastElF, "Thm 4.4: messages scale with m·log f(n); success rises with f(n)"},
+		{"E8", d.e8LogLog, "Thm 4.4.(A): msgs/(m·log log n) bounded, success whp"},
+		{"E9", d.e9Const, "Thm 4.4.(B): msgs/m bounded; success ≥ 1−ε across ε"},
+		{"E10", d.e10Spanner, "Cor 4.2: on dense graphs spanner+LE gets O(m) msgs and O(D) time"},
+		{"E11", d.e11Estimate, "Cor 4.5: no knowledge of n; msgs/(m·log n) bounded; prob 1"},
+		{"E12", d.e12LasVegas, "Cor 4.6: expected O(D) time / O(m) msgs with restarts"},
+		{"E13", d.e13Cluster, "Thm 4.7: msgs/(m+n log n) bounded; time O(D log n)"},
+		{"E14", d.e14Kingdom, "Thm 4.10: deterministic, msgs/(m log n) and rounds/(D log n) bounded"},
+		{"E15", d.e15Table1, "Table 1 head-to-head on a common graph"},
 	}
 	for _, e := range exps {
 		if *only != "" && e.id != *only {
@@ -84,7 +108,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		if h.csv {
+		if d.csv {
 			fmt.Printf("# %s\n%s\n", e.id, t.CSV())
 		} else {
 			fmt.Printf("%s\n*%s*\n\n", t.Markdown(), e.ann)
@@ -93,21 +117,129 @@ func run(args []string) error {
 	return nil
 }
 
-func (h *harness) sizes(quickSizes, fullSizes []int) []int {
-	if h.quick {
+// runSweep executes one declarative sweep spec through the harness.
+func runSweep(specArg string, workers int, jsonOut, csvOut string, progress bool) error {
+	var spec harness.Spec
+	switch specArg {
+	case "builtin:smoke":
+		spec = harness.Smoke()
+	default:
+		data, err := os.ReadFile(specArg)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("sweep spec %s: %w", specArg, err)
+		}
+	}
+	rc := harness.RunConfig{Workers: workers}
+	// Close errors must fail the sweep: the final buffered write can
+	// surface only at Close on some filesystems. The deferred pass covers
+	// early error returns; the explicit pass below reports the error.
+	var outFiles []*os.File
+	defer func() {
+		for _, f := range outFiles {
+			f.Close()
+		}
+	}()
+	openOut := func(path string) (*os.File, error) {
+		if path == "-" {
+			return os.Stdout, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		outFiles = append(outFiles, f)
+		return f, nil
+	}
+	if jsonOut != "" {
+		f, err := openOut(jsonOut)
+		if err != nil {
+			return err
+		}
+		rc.Emitters = append(rc.Emitters, harness.NewJSONEmitter(f))
+	}
+	if csvOut != "" {
+		f, err := openOut(csvOut)
+		if err != nil {
+			return err
+		}
+		rc.Emitters = append(rc.Emitters, harness.NewCSVEmitter(f))
+	}
+	total := spec.NumTrials()
+	if progress {
+		every := total / 20
+		if every < 1 {
+			every = 1
+		}
+		rc.Progress = func(done, tot int) {
+			if done%every == 0 || done == tot {
+				fmt.Fprintf(os.Stderr, "\rsweep %s: %d/%d trials", spec.Name, done, tot)
+				if done == tot {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	start := time.Now()
+	rep, err := harness.Run(spec, rc)
+	if err != nil {
+		return err
+	}
+	files := outFiles
+	outFiles = nil
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: %d trials, %d groups, %d errors, %d workers, %v\n",
+		spec.Name, rep.Total, len(rep.Groups), rep.Errors, rep.Workers, time.Since(start).Round(time.Millisecond))
+	// Human-readable synthesis on stdout unless it would interleave with
+	// a document already going there.
+	if jsonOut != "-" && csvOut != "-" {
+		t := stats.NewTable(fmt.Sprintf("sweep %s", spec.Name),
+			"algo", "graph", "mode", "wake", "n", "m", "trials", "msgs mean", "rounds mean", "success", "errors")
+		for _, g := range rep.Groups {
+			t.AddRow(g.Algo, g.Graph, g.Mode, g.Wake, g.N, g.M, g.Trials,
+				g.Messages.Mean, g.Rounds.Mean, g.Success, g.Errors)
+		}
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+// sweep expands and runs one harness spec with the driver's trial count,
+// base seed and worker pool. Every upper-bound experiment funnels its
+// election runs through here.
+func (d *driver) sweep(spec harness.Spec) (*harness.Report, error) {
+	if spec.Trials == 0 {
+		spec.Trials = d.trials
+	}
+	if spec.Seed == 0 {
+		spec.Seed = d.seed
+	}
+	return harness.Run(spec, harness.RunConfig{Workers: d.workers})
+}
+
+func (d *driver) sizes(quickSizes, fullSizes []int) []int {
+	if d.quick {
 		return quickSizes
 	}
 	return fullSizes
 }
 
+// ---- Lower-bound experiments (adversarial per-trial instances) ----
+
 // e1: Ω(m) message lower bound across algorithms and densities.
-func (h *harness) e1MessageLB() (*stats.Table, error) {
+func (d *driver) e1MessageLB() (*stats.Table, error) {
 	t := stats.NewTable("E1 — Thm 3.1: messages/m on dumbbell graphs",
 		"algo", "n(total)", "m(total)", "D", "msgs/m min", "msgs/m mean", "success")
 	algos := []string{"leastel", "leastel-const", "flood", "cluster", "kingdom", "lasvegas", "leastel-estimate"}
 	type sz struct{ n, m int }
 	var cfgs []sz
-	if h.quick {
+	if d.quick {
 		cfgs = []sz{{16, 60}, {24, 140}}
 	} else {
 		cfgs = []sz{{16, 60}, {24, 140}, {32, 300}, {48, 700}, {64, 1200}}
@@ -115,7 +247,7 @@ func (h *harness) e1MessageLB() (*stats.Table, error) {
 	for _, algo := range algos {
 		for _, cfg := range cfgs {
 			row, err := lowerbound.MessageLB(cfg.n, cfg.m, lowerbound.Sweep{
-				Algo: algo, Trials: h.trials, Seed: h.seed,
+				Algo: algo, Trials: d.trials, Seed: d.seed,
 			})
 			if err != nil {
 				return nil, err
@@ -126,13 +258,13 @@ func (h *harness) e1MessageLB() (*stats.Table, error) {
 	return t, nil
 }
 
-func (h *harness) e2Bridge() (*stats.Table, error) {
+func (d *driver) e2Bridge() (*stats.Table, error) {
 	t := stats.NewTable("E2 — Lemma 3.5: bridge crossing instrument (dumbbells)",
 		"algo", "n(total)", "m(total)", "cross round mean", "msgs before cross mean", "success")
 	for _, algo := range []string{"leastel", "leastel-const", "kingdom"} {
 		for _, cfg := range [][2]int{{16, 100}, {32, 300}} {
 			row, err := lowerbound.MessageLB(cfg[0], cfg[1], lowerbound.Sweep{
-				Algo: algo, Trials: h.trials, Seed: h.seed + 1,
+				Algo: algo, Trials: d.trials, Seed: d.seed + 1,
 			})
 			if err != nil {
 				return nil, err
@@ -143,21 +275,21 @@ func (h *harness) e2Bridge() (*stats.Table, error) {
 	return t, nil
 }
 
-func (h *harness) e3TimeLB() (*stats.Table, error) {
+func (d *driver) e3TimeLB() (*stats.Table, error) {
 	t := stats.NewTable("E3 — Thm 3.13 / Figure 1: rounds/D on clique-cycles + truncated budgets",
 		"algo", "n", "D", "rounds/D min", "rounds/D mean", "success", "succ@0.25D", "succ@0.5D")
-	ds := h.sizes([]int{8, 16}, []int{8, 16, 32, 64})
+	ds := d.sizes([]int{8, 16}, []int{8, 16, 32, 64})
 	for _, algo := range []string{"leastel", "flood", "lasvegas", "kingdom-d"} {
-		for _, d := range ds {
-			row, err := lowerbound.TimeLB(4*d, d, lowerbound.Sweep{Algo: algo, Trials: h.trials, Seed: h.seed})
+		for _, dd := range ds {
+			row, err := lowerbound.TimeLB(4*dd, dd, lowerbound.Sweep{Algo: algo, Trials: d.trials, Seed: d.seed})
 			if err != nil {
 				return nil, err
 			}
-			t25, err := lowerbound.TruncatedSuccess(4*d, d, 0.25, lowerbound.Sweep{Algo: algo, Trials: h.trials, Seed: h.seed})
+			t25, err := lowerbound.TruncatedSuccess(4*dd, dd, 0.25, lowerbound.Sweep{Algo: algo, Trials: d.trials, Seed: d.seed})
 			if err != nil {
 				return nil, err
 			}
-			t50, err := lowerbound.TruncatedSuccess(4*d, d, 0.5, lowerbound.Sweep{Algo: algo, Trials: h.trials, Seed: h.seed})
+			t50, err := lowerbound.TruncatedSuccess(4*dd, dd, 0.5, lowerbound.Sweep{Algo: algo, Trials: d.trials, Seed: d.seed})
 			if err != nil {
 				return nil, err
 			}
@@ -168,15 +300,15 @@ func (h *harness) e3TimeLB() (*stats.Table, error) {
 	return t, nil
 }
 
-func (h *harness) e4Trivial() (*stats.Table, error) {
+func (d *driver) e4Trivial() (*stats.Table, error) {
 	t := stats.NewTable("E4 — §1: the zero-message 1/n self-election",
 		"n", "trials", "success", "1/e", "messages")
 	trials := 2000
-	if h.quick {
+	if d.quick {
 		trials = 300
 	}
-	for _, n := range h.sizes([]int{64}, []int{32, 64, 128, 256, 512}) {
-		row, err := lowerbound.TrivialSuccess(n, trials, h.seed)
+	for _, n := range d.sizes([]int{64}, []int{32, 64, 128, 256, 512}) {
+		row, err := lowerbound.TrivialSuccess(n, trials, d.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -185,18 +317,18 @@ func (h *harness) e4Trivial() (*stats.Table, error) {
 	return t, nil
 }
 
-func (h *harness) e5Broadcast() (*stats.Table, error) {
+func (d *driver) e5Broadcast() (*stats.Table, error) {
 	t := stats.NewTable("E5 — Cor 3.12: flooding broadcast messages/m on dumbbells",
 		"n(total)", "m(total)", "msgs/m mean", "majority ok", "rounds mean")
 	type sz struct{ n, m int }
 	var cfgs []sz
-	if h.quick {
+	if d.quick {
 		cfgs = []sz{{16, 60}}
 	} else {
 		cfgs = []sz{{16, 60}, {24, 140}, {32, 300}, {64, 1200}}
 	}
 	for _, cfg := range cfgs {
-		row, err := lowerbound.BroadcastLB(cfg.n, cfg.m, h.trials, h.seed)
+		row, err := lowerbound.BroadcastLB(cfg.n, cfg.m, d.trials, d.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -205,31 +337,7 @@ func (h *harness) e5Broadcast() (*stats.Table, error) {
 	return t, nil
 }
 
-// sweepRow runs an algorithm over trials on one graph and returns the
-// per-trial message and active-round summaries plus the success rate.
-func (h *harness) sweepRow(g *graph.Graph, algo string, d int, opt core.Options, smallIDs bool) (stats.Summary, stats.Summary, float64, error) {
-	var msgs, rounds []float64
-	succ := 0
-	for i := 0; i < h.trials; i++ {
-		s := h.seed + int64(i)*7919
-		var ids []int64
-		if smallIDs {
-			ids = sim.PermutationIDs(g.N(), rand.New(rand.NewSource(s))) //nolint:gosec
-		}
-		res, err := core.Run(g, algo, core.RunOpts{
-			Seed: s, IDs: ids, D: d, MaxRounds: 1 << 18, Opt: opt,
-		})
-		if err != nil {
-			return stats.Summary{}, stats.Summary{}, 0, err
-		}
-		msgs = append(msgs, float64(res.Messages))
-		rounds = append(rounds, float64(res.LastActive))
-		if res.UniqueLeader() {
-			succ++
-		}
-	}
-	return stats.Summarize(msgs), stats.Summarize(rounds), float64(succ) / float64(h.trials), nil
-}
+// ---- Upper-bound sweeps (Table 1 rows), all driven by the harness ----
 
 func log2f(n int) float64 {
 	l := 1.0
@@ -239,46 +347,50 @@ func log2f(n int) float64 {
 	return l
 }
 
-func (h *harness) e6DFS() (*stats.Table, error) {
+func (d *driver) e6DFS() (*stats.Table, error) {
 	t := stats.NewTable("E6 — Thm 4.1: DFS election messages/m and exponential time in min ID",
 		"graph", "n", "m", "msgs/m mean", "rounds (minID=1)", "rounds (minID=3)", "rounds (minID=5)")
-	rng := rand.New(rand.NewSource(h.seed))
-	for _, n := range h.sizes([]int{24}, []int{24, 48, 96}) {
-		g, err := graph.RandomConnected(n, 4*n, rng)
-		if err != nil {
-			return nil, err
+	spec := harness.Spec{Name: "e6-dfs", Algos: []string{"dfs"}, SmallIDs: true}
+	for _, n := range d.sizes([]int{24}, []int{24, 48, 96}) {
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("random:%d:%d", n, 4*n))
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	graphs := rep.Graphs()
+	for gi, gs := range spec.Graphs {
+		grp := rep.Group("dfs", gs, "congest", "sync")
+		if grp == nil {
+			return nil, fmt.Errorf("missing group for %s", gs)
 		}
-		ms, _, _, err := h.sweepRow(g, "dfs", 0, core.Options{}, true)
-		if err != nil {
-			return nil, err
-		}
+		g := graphs[gi]
+		// The exponential-in-min-ID probes need controlled sequential ID
+		// assignments, which is a per-run instrument rather than a sweep
+		// axis; run them directly on the shared graph instances.
 		var at [3]float64
 		for i, minID := range []int64{1, 3, 5} {
 			res, err := core.Run(g, "dfs", core.RunOpts{
-				Seed: h.seed, IDs: sim.SequentialIDs(n, minID), MaxRounds: 1 << 19,
+				Seed: d.seed, IDs: sim.SequentialIDs(g.N(), minID), MaxRounds: 1 << 19,
 			})
 			if err != nil {
 				return nil, err
 			}
 			at[i] = float64(res.Rounds)
 		}
-		t.AddRow("random", n, g.M(), ms.Mean/float64(g.M()), at[0], at[1], at[2])
+		t.AddRow("random", g.N(), g.M(), grp.Messages.Mean/float64(g.M()), at[0], at[1], at[2])
 	}
 	return t, nil
 }
 
-func (h *harness) e7LeastElF() (*stats.Table, error) {
+func (d *driver) e7LeastElF() (*stats.Table, error) {
 	t := stats.NewTable("E7 — Thm 4.4: messages and success vs candidate budget f(n)",
 		"f(n)", "n", "m", "msgs mean", "msgs/m", "rounds mean", "success")
-	rng := rand.New(rand.NewSource(h.seed + 2))
 	n := 256
-	if h.quick {
+	if d.quick {
 		n = 96
 	}
-	g, err := graph.RandomConnected(n, 6*n, rng)
-	if err != nil {
-		return nil, err
-	}
+	gs := fmt.Sprintf("random:%d:%d", n, 6*n)
 	for _, row := range []struct {
 		label string
 		algo  string
@@ -289,77 +401,95 @@ func (h *harness) e7LeastElF() (*stats.Table, error) {
 		{"4ln(1/0.1)", "leastel-const", core.Options{Epsilon: 0.1}},
 		{"4ln(1/0.5)", "leastel-const", core.Options{Epsilon: 0.5}},
 	} {
-		ms, rs, succ, err := h.sweepRow(g, row.algo, 0, row.opt, false)
+		// One spec per row: Options vary per row, and the shared Seed
+		// keeps the graph instance and per-rep coins identical across
+		// rows (paired comparison).
+		rep, err := d.sweep(harness.Spec{
+			Name: "e7-" + row.label, Algos: []string{row.algo}, Graphs: []string{gs}, Opt: row.opt,
+		})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(row.label, n, g.M(), ms.Mean, ms.Mean/float64(g.M()), rs.Mean, succ)
+		grp := rep.Group(row.algo, gs, "congest", "sync")
+		t.AddRow(row.label, grp.N, grp.M, grp.Messages.Mean,
+			grp.Messages.Mean/float64(grp.M), grp.Rounds.Mean, grp.Success)
 	}
 	return t, nil
 }
 
-func (h *harness) e8LogLog() (*stats.Table, error) {
+func (d *driver) e8LogLog() (*stats.Table, error) {
 	t := stats.NewTable("E8 — Thm 4.4.(A): msgs/(m·log log n) with f(n)=log n",
 		"n", "m", "msgs mean", "msgs/(m·loglog n)", "rounds/D", "success")
-	rng := rand.New(rand.NewSource(h.seed + 3))
-	for _, n := range h.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
-		g, err := graph.RandomConnected(n, 5*n, rng)
-		if err != nil {
-			return nil, err
-		}
-		d := g.DiameterExact()
-		ms, rs, succ, err := h.sweepRow(g, "leastel-loglog", d, core.Options{}, false)
-		if err != nil {
-			return nil, err
-		}
-		ll := log2f(int(log2f(n)))
-		t.AddRow(n, g.M(), ms.Mean, ms.Mean/(float64(g.M())*ll), rs.Mean/float64(d), succ)
+	spec := harness.Spec{Name: "e8-loglog", Algos: []string{"leastel-loglog"}}
+	for _, n := range d.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("random:%d:%d", n, 5*n))
 	}
-	return t, nil
-}
-
-func (h *harness) e9Const() (*stats.Table, error) {
-	t := stats.NewTable("E9 — Thm 4.4.(B): O(m) messages with success ≥ 1−ε",
-		"epsilon", "n", "m", "msgs/m", "success", "target ≥")
-	rng := rand.New(rand.NewSource(h.seed + 4))
-	n := 256
-	if h.quick {
-		n = 96
-	}
-	g, err := graph.RandomConnected(n, 4*n, rng)
+	rep, err := d.sweep(spec)
 	if err != nil {
 		return nil, err
 	}
-	for _, eps := range []float64{0.25, 0.1, 0.01} {
-		ms, _, succ, err := h.sweepRow(g, "leastel-const", 0, core.Options{Epsilon: eps}, false)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(eps, n, g.M(), ms.Mean/float64(g.M()), succ, 1-eps)
+	graphs := rep.Graphs()
+	for gi, gs := range spec.Graphs {
+		grp := rep.Group("leastel-loglog", gs, "congest", "sync")
+		g := graphs[gi]
+		diam := float64(g.DiameterExact())
+		ll := log2f(int(log2f(g.N())))
+		t.AddRow(g.N(), g.M(), grp.Messages.Mean,
+			grp.Messages.Mean/(float64(g.M())*ll), grp.Rounds.Mean/diam, grp.Success)
 	}
 	return t, nil
 }
 
-func (h *harness) e10Spanner() (*stats.Table, error) {
+func (d *driver) e9Const() (*stats.Table, error) {
+	t := stats.NewTable("E9 — Thm 4.4.(B): O(m) messages with success ≥ 1−ε",
+		"epsilon", "n", "m", "msgs/m", "success", "target ≥")
+	n := 256
+	if d.quick {
+		n = 96
+	}
+	gs := fmt.Sprintf("random:%d:%d", n, 4*n)
+	for _, eps := range []float64{0.25, 0.1, 0.01} {
+		rep, err := d.sweep(harness.Spec{
+			Name:  fmt.Sprintf("e9-eps%v", eps),
+			Algos: []string{"leastel-const"}, Graphs: []string{gs},
+			Opt: core.Options{Epsilon: eps},
+		})
+		if err != nil {
+			return nil, err
+		}
+		grp := rep.Group("leastel-const", gs, "congest", "sync")
+		t.AddRow(eps, grp.N, grp.M, grp.Messages.Mean/float64(grp.M), grp.Success, 1-eps)
+	}
+	return t, nil
+}
+
+func (d *driver) e10Spanner() (*stats.Table, error) {
 	t := stats.NewTable("E10 — Cor 4.2: spanner+LE vs plain LE on dense graphs (m ≈ n^1.5)",
 		"n", "m", "algo", "msgs/m", "rounds/D", "success")
-	rng := rand.New(rand.NewSource(h.seed + 5))
-	for _, n := range h.sizes([]int{64}, []int{64, 144, 256, 400}) {
+	spec := harness.Spec{
+		Name:  "e10-spanner",
+		Algos: []string{"spanner-le", "leastel"},
+		Opt:   core.Options{Epsilon: 0.5},
+	}
+	for _, n := range d.sizes([]int{64}, []int{64, 144, 256, 400}) {
 		m := n * isqrt(n)
 		if max := n * (n - 1) / 2; m > max {
 			m = max
 		}
-		g, err := graph.RandomConnected(n, m, rng)
-		if err != nil {
-			return nil, err
-		}
-		d := g.DiameterExact()
-		for _, algo := range []string{"spanner-le", "leastel"} {
-			ms, rs, succ, err := h.sweepRow(g, algo, d, core.Options{Epsilon: 0.5}, false)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(n, g.M(), algo, ms.Mean/float64(g.M()), rs.Mean/float64(d), succ)
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("random:%d:%d", n, m))
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	graphs := rep.Graphs()
+	for gi, gs := range spec.Graphs {
+		g := graphs[gi]
+		diam := float64(g.DiameterExact())
+		for _, algo := range spec.Algos {
+			grp := rep.Group(algo, gs, "congest", "sync")
+			t.AddRow(g.N(), g.M(), algo, grp.Messages.Mean/float64(g.M()),
+				grp.Rounds.Mean/diam, grp.Success)
 		}
 	}
 	return t, nil
@@ -373,102 +503,122 @@ func isqrt(n int) int {
 	return r - 1
 }
 
-func (h *harness) e11Estimate() (*stats.Table, error) {
+func (d *driver) e11Estimate() (*stats.Table, error) {
 	t := stats.NewTable("E11 — Cor 4.5: no knowledge of n; msgs/(m·log n) bounded",
 		"n", "m", "msgs/(m·log n)", "rounds/D", "success")
-	rng := rand.New(rand.NewSource(h.seed + 6))
-	for _, n := range h.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
-		g, err := graph.RandomConnected(n, 4*n, rng)
-		if err != nil {
-			return nil, err
-		}
-		d := g.DiameterExact()
-		ms, rs, succ, err := h.sweepRow(g, "leastel-estimate", d, core.Options{}, false)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(n, g.M(), ms.Mean/(float64(g.M())*log2f(n)), rs.Mean/float64(d), succ)
+	spec := harness.Spec{Name: "e11-estimate", Algos: []string{"leastel-estimate"}}
+	for _, n := range d.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("random:%d:%d", n, 4*n))
 	}
-	return t, nil
-}
-
-func (h *harness) e12LasVegas() (*stats.Table, error) {
-	t := stats.NewTable("E12 — Cor 4.6: Las Vegas with knowledge of n and D",
-		"graph", "n", "D", "msgs/m", "rounds/D", "success")
-	for _, n := range h.sizes([]int{32}, []int{32, 64, 128, 256}) {
-		g := graph.Ring(n)
-		d := n / 2
-		ms, rs, succ, err := h.sweepRow(g, "lasvegas", d, core.Options{}, false)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("ring", n, d, ms.Mean/float64(g.M()), rs.Mean/float64(d), succ)
-	}
-	return t, nil
-}
-
-func (h *harness) e13Cluster() (*stats.Table, error) {
-	t := stats.NewTable("E13 — Thm 4.7: clustering algorithm O(m+n log n) msgs, O(D log n) time",
-		"n", "m", "msgs/(m+n·log n)", "rounds/(D·log n)", "success")
-	rng := rand.New(rand.NewSource(h.seed + 7))
-	for _, n := range h.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
-		g, err := graph.RandomConnected(n, 6*n, rng)
-		if err != nil {
-			return nil, err
-		}
-		d := g.DiameterExact()
-		ms, rs, succ, err := h.sweepRow(g, "cluster", d, core.Options{}, false)
-		if err != nil {
-			return nil, err
-		}
-		denom := float64(g.M()) + float64(n)*log2f(n)
-		t.AddRow(n, g.M(), ms.Mean/denom, rs.Mean/(float64(d)*log2f(n)), succ)
-	}
-	return t, nil
-}
-
-func (h *harness) e14Kingdom() (*stats.Table, error) {
-	t := stats.NewTable("E14 — Thm 4.10: growing kingdoms, deterministic, no knowledge",
-		"variant", "n", "m", "msgs/(m·log n)", "rounds/(D·log n)", "success")
-	rng := rand.New(rand.NewSource(h.seed + 8))
-	for _, n := range h.sizes([]int{48}, []int{48, 96, 192, 384}) {
-		g, err := graph.RandomConnected(n, 4*n, rng)
-		if err != nil {
-			return nil, err
-		}
-		d := g.DiameterExact()
-		for _, algo := range []string{"kingdom", "kingdom-d"} {
-			ms, rs, succ, err := h.sweepRow(g, algo, d, core.Options{}, true)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(algo, n, g.M(), ms.Mean/(float64(g.M())*log2f(n)),
-				rs.Mean/(float64(d)*log2f(n)), succ)
-		}
-	}
-	return t, nil
-}
-
-func (h *harness) e15Table1() (*stats.Table, error) {
-	t := stats.NewTable("E15 — Table 1 head-to-head (random graph)",
-		"algo", "paper row", "msgs mean", "msgs/m", "rounds mean", "success")
-	rng := rand.New(rand.NewSource(h.seed + 9))
-	n := 200
-	if h.quick {
-		n = 80
-	}
-	g, err := graph.RandomConnected(n, 5*n, rng)
+	rep, err := d.sweep(spec)
 	if err != nil {
 		return nil, err
 	}
-	d := g.DiameterExact()
-	for _, algo := range core.Names() {
-		spec := core.MustGet(algo)
-		ms, rs, succ, err := h.sweepRow(g, algo, d, core.Options{}, true)
-		if err != nil {
-			return nil, err
+	graphs := rep.Graphs()
+	for gi, gs := range spec.Graphs {
+		grp := rep.Group("leastel-estimate", gs, "congest", "sync")
+		g := graphs[gi]
+		diam := float64(g.DiameterExact())
+		t.AddRow(g.N(), g.M(), grp.Messages.Mean/(float64(g.M())*log2f(g.N())),
+			grp.Rounds.Mean/diam, grp.Success)
+	}
+	return t, nil
+}
+
+func (d *driver) e12LasVegas() (*stats.Table, error) {
+	t := stats.NewTable("E12 — Cor 4.6: Las Vegas with knowledge of n and D",
+		"graph", "n", "D", "msgs/m", "rounds/D", "success")
+	spec := harness.Spec{Name: "e12-lasvegas", Algos: []string{"lasvegas"}}
+	for _, n := range d.sizes([]int{32}, []int{32, 64, 128, 256}) {
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("ring:%d", n))
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, gs := range spec.Graphs {
+		grp := rep.Group("lasvegas", gs, "congest", "sync")
+		// lasvegas knows D, so the harness recorded the exact diameter.
+		t.AddRow("ring", grp.N, grp.D, grp.Messages.Mean/float64(grp.M),
+			grp.Rounds.Mean/float64(grp.D), grp.Success)
+	}
+	return t, nil
+}
+
+func (d *driver) e13Cluster() (*stats.Table, error) {
+	t := stats.NewTable("E13 — Thm 4.7: clustering algorithm O(m+n log n) msgs, O(D log n) time",
+		"n", "m", "msgs/(m+n·log n)", "rounds/(D·log n)", "success")
+	spec := harness.Spec{Name: "e13-cluster", Algos: []string{"cluster"}}
+	for _, n := range d.sizes([]int{64, 128}, []int{64, 128, 256, 512}) {
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("random:%d:%d", n, 6*n))
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	graphs := rep.Graphs()
+	for gi, gs := range spec.Graphs {
+		grp := rep.Group("cluster", gs, "congest", "sync")
+		g := graphs[gi]
+		diam := float64(g.DiameterExact())
+		denom := float64(g.M()) + float64(g.N())*log2f(g.N())
+		t.AddRow(g.N(), g.M(), grp.Messages.Mean/denom,
+			grp.Rounds.Mean/(diam*log2f(g.N())), grp.Success)
+	}
+	return t, nil
+}
+
+func (d *driver) e14Kingdom() (*stats.Table, error) {
+	t := stats.NewTable("E14 — Thm 4.10: growing kingdoms, deterministic, no knowledge",
+		"variant", "n", "m", "msgs/(m·log n)", "rounds/(D·log n)", "success")
+	spec := harness.Spec{
+		Name:     "e14-kingdom",
+		Algos:    []string{"kingdom", "kingdom-d"},
+		SmallIDs: true,
+	}
+	for _, n := range d.sizes([]int{48}, []int{48, 96, 192, 384}) {
+		spec.Graphs = append(spec.Graphs, fmt.Sprintf("random:%d:%d", n, 4*n))
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	graphs := rep.Graphs()
+	for gi, gs := range spec.Graphs {
+		g := graphs[gi]
+		diam := float64(g.DiameterExact())
+		for _, algo := range spec.Algos {
+			grp := rep.Group(algo, gs, "congest", "sync")
+			t.AddRow(algo, g.N(), g.M(), grp.Messages.Mean/(float64(g.M())*log2f(g.N())),
+				grp.Rounds.Mean/(diam*log2f(g.N())), grp.Success)
 		}
-		t.AddRow(algo, spec.Result, ms.Mean, ms.Mean/float64(g.M()), rs.Mean, succ)
+	}
+	return t, nil
+}
+
+func (d *driver) e15Table1() (*stats.Table, error) {
+	t := stats.NewTable("E15 — Table 1 head-to-head (random graph)",
+		"algo", "paper row", "msgs mean", "msgs/m", "rounds mean", "success")
+	n := 200
+	if d.quick {
+		n = 80
+	}
+	gs := fmt.Sprintf("random:%d:%d", n, 5*n)
+	spec := harness.Spec{
+		Name:     "e15-table1",
+		Algos:    core.Names(),
+		Graphs:   []string{gs},
+		SmallIDs: true,
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, algo := range spec.Algos {
+		cspec := core.MustGet(algo)
+		grp := rep.Group(algo, gs, "congest", "sync")
+		t.AddRow(algo, cspec.Result, grp.Messages.Mean,
+			grp.Messages.Mean/float64(grp.M), grp.Rounds.Mean, grp.Success)
 	}
 	return t, nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ule/internal/harness"
+)
+
+func TestSweepModeEmitsConsumableJSON(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	jsonPath := filepath.Join(dir, "out.json")
+	csvPath := filepath.Join(dir, "out.csv")
+	spec := `{"name":"cli-test","algos":["leastel","kingdom"],"graphs":["ring:12","random:16:40"],"trials":3,"seed":5,"small_ids":true}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", specPath, "-workers", "3", "-json", jsonPath, "-csv-out", csvPath, "-progress=false"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := harness.ParseDocument(data)
+	if err != nil {
+		t.Fatalf("sweep JSON not consumable: %v", err)
+	}
+	if want := 2 * 2 * 3; doc.TotalTrials != want {
+		t.Fatalf("sweep ran %d trials, want %d", doc.TotalTrials, want)
+	}
+	if len(doc.Groups) != 4 {
+		t.Fatalf("sweep produced %d groups, want 4", len(doc.Groups))
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csv) == 0 {
+		t.Fatal("empty CSV output")
+	}
+}
+
+func TestQuickExperimentThroughHarness(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E12", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinSmokeSpec(t *testing.T) {
+	if err := run([]string{"-sweep", "builtin:smoke", "-progress=false"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,20 +7,17 @@
 //	ule -list
 //
 // Graph specs: path:N ring:N star:N complete:N grid:RxC torus:RxC
-// hypercube:DIM random:N:M lollipop:N:M dumbbell:N:M cliquecycle:N:D
+// bipartite:AxB hypercube:DIM random:N:M regular:N:D caterpillar:SPINE:LEGS
+// lollipop:N:M dumbbell:N:M cliquecycle:N:D
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
 	"ule/election"
 	"ule/internal/graph"
-	"ule/internal/lowerbound"
 	"ule/internal/stats"
 )
 
@@ -85,93 +82,8 @@ func run(args []string) error {
 	return nil
 }
 
+// buildGraph parses the -graph family spec through the shared parser in
+// internal/graph (the same grammar the sweep harness accepts).
 func buildGraph(spec string, seed int64) (*election.Graph, error) {
-	parts := strings.Split(spec, ":")
-	kind := parts[0]
-	num := func(i int) (int, error) {
-		if i >= len(parts) {
-			return 0, fmt.Errorf("graph spec %q: missing parameter %d", spec, i)
-		}
-		return strconv.Atoi(strings.Split(parts[i], "x")[0])
-	}
-	switch kind {
-	case "path", "ring", "star", "complete", "hypercube":
-		n, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		switch kind {
-		case "path":
-			return election.Path(n), nil
-		case "ring":
-			return election.Ring(n), nil
-		case "star":
-			return election.Star(n), nil
-		case "complete":
-			return election.Complete(n), nil
-		default:
-			return election.Hypercube(n), nil
-		}
-	case "grid", "torus":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("graph spec %q: want %s:RxC", spec, kind)
-		}
-		dims := strings.Split(parts[1], "x")
-		if len(dims) != 2 {
-			return nil, fmt.Errorf("graph spec %q: want %s:RxC", spec, kind)
-		}
-		r, err := strconv.Atoi(dims[0])
-		if err != nil {
-			return nil, err
-		}
-		c, err := strconv.Atoi(dims[1])
-		if err != nil {
-			return nil, err
-		}
-		if kind == "grid" {
-			return election.Grid(r, c), nil
-		}
-		return election.Torus(r, c), nil
-	case "random", "lollipop", "dumbbell":
-		n, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		m, err := num(2)
-		if err != nil {
-			return nil, err
-		}
-		switch kind {
-		case "random":
-			return election.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
-		case "lollipop":
-			l, err := graph.NewLollipop(n, m)
-			if err != nil {
-				return nil, err
-			}
-			return l.Graph, nil
-		default:
-			db, _, err := lowerbound.DumbbellInstance(n, m, rand.New(rand.NewSource(seed)))
-			if err != nil {
-				return nil, err
-			}
-			return db.Graph, nil
-		}
-	case "cliquecycle":
-		n, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		d, err := num(2)
-		if err != nil {
-			return nil, err
-		}
-		cc, err := graph.NewCliqueCycle(n, d)
-		if err != nil {
-			return nil, err
-		}
-		return cc.Graph, nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", kind)
-	}
+	return graph.FromSpec(spec, seed)
 }

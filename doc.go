@@ -6,5 +6,8 @@
 // complexity shape.
 //
 // Start with the public API in ule/election; the per-experiment benchmarks
-// live in bench_test.go at this root.
+// live in bench_test.go at this root. Experiment sweeps — many (algorithm,
+// graph, seed, mode, wake schedule) configurations executed in parallel
+// with machine-readable JSON/CSV output — run through ule/internal/harness
+// (see docs/SWEEP_SCHEMA.md and cmd/ule-experiments -sweep).
 package ule

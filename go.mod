@@ -1,0 +1,3 @@
+module ule
+
+go 1.24

@@ -17,8 +17,9 @@ type RunOpts struct {
 	// Anonymous runs without identifiers (only valid for algorithms with
 	// NeedsIDs == false).
 	Anonymous bool
-	// D is the known diameter; 0 means "compute exactly" (O(n·m) —
-	// fine for tests, pass the family's closed form in experiments).
+	// D is the known diameter; 0 means "compute exactly" (memoized on the
+	// graph, so repeated runs on one graph pay the O(n·m) all-pairs BFS
+	// once — pass the family's closed form to skip it entirely).
 	D int
 	// MaxRounds bounds the run (0 = engine default).
 	MaxRounds int
@@ -35,15 +36,12 @@ type RunOpts struct {
 	Opt Options
 }
 
-// Run executes the registered algorithm on g and returns the run summary.
-// Knowledge is granted exactly as the algorithm's Table 1 row assumes.
-func Run(g *graph.Graph, algo string, ro RunOpts) (*sim.Result, error) {
-	spec, ok := Get(algo)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
-	}
+// config resolves the RunOpts against the algorithm spec into the engine
+// configuration and protocol instance. Knowledge is granted exactly as the
+// algorithm's Table 1 row assumes.
+func (ro RunOpts) config(g *graph.Graph, spec Spec) (sim.Config, sim.Protocol, error) {
 	if spec.NeedsIDs && ro.Anonymous {
-		return nil, fmt.Errorf("core: %s requires unique IDs", algo)
+		return sim.Config{}, nil, fmt.Errorf("core: %s requires unique IDs", spec.Name)
 	}
 	d := ro.D
 	if d <= 0 && spec.NeedsD {
@@ -71,5 +69,74 @@ func Run(g *graph.Graph, algo string, ro RunOpts) (*sim.Result, error) {
 		CountPerEdge:  ro.CountPerEdge,
 		Parallel:      ro.Parallel,
 	}
-	return sim.Run(cfg, spec.New(ro.Opt))
+	return cfg, spec.New(ro.Opt), nil
+}
+
+// Run executes the registered algorithm on g and returns the run summary.
+func Run(g *graph.Graph, algo string, ro RunOpts) (*sim.Result, error) {
+	spec, ok := Get(algo)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	cfg, proto, err := ro.config(g, spec)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg, proto)
+}
+
+// Prepared binds a registered algorithm to one graph with a reusable
+// sim.Runner, so a batch driver pays per-trial setup cost — reverse-port
+// tables, engine scratch buffers, the memoized diameter — once. Results
+// are identical to calling Run per trial. Not safe for concurrent use;
+// sweep workers hold one Prepared per (graph, algorithm) cell each.
+type Prepared struct {
+	g      *graph.Graph
+	spec   Spec
+	runner *sim.Runner
+}
+
+// Prepare validates the algorithm name and graph and builds the reusable
+// runner state.
+func Prepare(g *graph.Graph, algo string) (*Prepared, error) {
+	spec, ok := Get(algo)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	runner, err := sim.NewRunner(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{g: g, spec: spec, runner: runner}, nil
+}
+
+// Spec returns the algorithm spec this Prepared runs.
+func (p *Prepared) Spec() Spec { return p.spec }
+
+// Run executes one trial.
+func (p *Prepared) Run(ro RunOpts) (*sim.Result, error) {
+	cfg, proto, err := ro.config(p.g, p.spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.runner.Run(cfg, proto)
+}
+
+// RunMany executes the registered algorithm once per RunOpts entry on a
+// shared graph through a single Prepared instance. This is the batching
+// hook the sweep harness drives. It fails fast on the first trial error.
+func RunMany(g *graph.Graph, algo string, runs []RunOpts) ([]*sim.Result, error) {
+	p, err := Prepare(g, algo)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*sim.Result, len(runs))
+	for i, ro := range runs {
+		res, err := p.Run(ro)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, nil
 }

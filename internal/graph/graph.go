@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Graph is an undirected, simple, port-numbered graph.
@@ -26,6 +27,13 @@ type Graph struct {
 	adj  [][]int
 	m    int
 	name string
+
+	// diamOnce guards the memoized exact diameter. The cache survives
+	// ShufflePorts (port renumbering never changes distances) and is safe
+	// for concurrent readers, so sweeps sharing one graph across many
+	// trials pay the O(n·m) all-pairs BFS exactly once.
+	diamOnce sync.Once
+	diam     int
 }
 
 // Errors returned by NewFromEdges.
@@ -195,10 +203,17 @@ func (g *Graph) Eccentricity(u int) int {
 	return ecc
 }
 
-// DiameterExact computes the exact diameter by all-pairs BFS. It costs
-// O(n·m) time, so reserve it for tests and small experiment instances; the
-// experiment families expose closed-form diameters instead.
+// DiameterExact returns the exact diameter, computed by all-pairs BFS on
+// first use and memoized thereafter (concurrency-safe). The first call
+// costs O(n·m) time; repeated calls — e.g. a sweep running many trials on
+// one shared graph — are free.
 func (g *Graph) DiameterExact() int {
+	g.diamOnce.Do(func() { g.diam = g.diameterExact() })
+	return g.diam
+}
+
+// diameterExact is the uncached all-pairs BFS computation.
+func (g *Graph) diameterExact() int {
 	diam := 0
 	for u := 0; u < g.N(); u++ {
 		e := g.Eccentricity(u)

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// FromSpec builds a graph from a compact textual family spec. It is the
+// single parser behind the ule CLI's -graph flag and the sweep harness's
+// graph axis, so both accept the same grammar:
+//
+//	path:N ring:N star:N complete:N hypercube:DIM
+//	grid:RxC torus:RxC bipartite:AxB
+//	random:N:M regular:N:D caterpillar:SPINE:LEGS
+//	lollipop:N:M dumbbell:N:M cliquecycle:N:D
+//
+// Randomized families (random, regular, dumbbell) are deterministic given
+// (spec, seed); deterministic families ignore the seed.
+func FromSpec(spec string, seed int64) (*Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	wantParts := func(k int, usage string) error {
+		if len(parts) != k {
+			return fmt.Errorf("graph spec %q: want %s", spec, usage)
+		}
+		return nil
+	}
+	num := func(i int) (int, error) {
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("graph spec %q: bad parameter %q", spec, parts[i])
+		}
+		return v, nil
+	}
+	pair := func(i int) (int, int, error) {
+		dims := strings.Split(parts[i], "x")
+		if len(dims) != 2 {
+			return 0, 0, fmt.Errorf("graph spec %q: want AxB, got %q", spec, parts[i])
+		}
+		a, err := strconv.Atoi(dims[0])
+		if err != nil {
+			return 0, 0, fmt.Errorf("graph spec %q: bad parameter %q", spec, dims[0])
+		}
+		b, err := strconv.Atoi(dims[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("graph spec %q: bad parameter %q", spec, dims[1])
+		}
+		return a, b, nil
+	}
+
+	switch kind {
+	case "path", "ring", "star", "complete", "hypercube":
+		if err := wantParts(2, kind+":N"); err != nil {
+			return nil, err
+		}
+		n, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "path":
+			return Path(n), nil
+		case "ring":
+			return Ring(n), nil
+		case "star":
+			return Star(n), nil
+		case "complete":
+			return Complete(n), nil
+		default:
+			return Hypercube(n), nil
+		}
+	case "grid", "torus", "bipartite":
+		if err := wantParts(2, kind+":AxB"); err != nil {
+			return nil, err
+		}
+		a, b, err := pair(1)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "grid":
+			return Grid(a, b), nil
+		case "torus":
+			return Torus(a, b), nil
+		default:
+			return CompleteBipartite(a, b), nil
+		}
+	case "random", "regular", "caterpillar", "lollipop", "dumbbell", "cliquecycle":
+		if err := wantParts(3, kind+":A:B"); err != nil {
+			return nil, err
+		}
+		a, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		b, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "random":
+			return RandomConnected(a, b, rand.New(rand.NewSource(seed)))
+		case "regular":
+			return RandomRegular(a, b, rand.New(rand.NewSource(seed)))
+		case "caterpillar":
+			return Caterpillar(a, b), nil
+		case "lollipop":
+			l, err := NewLollipop(a, b)
+			if err != nil {
+				return nil, err
+			}
+			return l.Graph, nil
+		case "dumbbell":
+			d, _, err := RandomDumbbell(a, b, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			return d.Graph, nil
+		default:
+			cc, err := NewCliqueCycle(a, b)
+			if err != nil {
+				return nil, err
+			}
+			return cc.Graph, nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown graph family %q in spec %q", kind, spec)
+	}
+}
+
+// RandomDumbbell samples a Theorem 3.1 dumbbell with per-side node budget n
+// and edge budget m: a lollipop base graph, two port-shuffled copies (the
+// adversarial port-mapping choice, applied to the closed graphs so the
+// bridge rewiring reuses the freed port slots), joined at two uniformly
+// chosen clique edges. It also returns the lollipop clique size κ, which
+// determines the invariant diameter 2(n−κ)+1.
+func RandomDumbbell(n, m int, rng *rand.Rand) (*Dumbbell, int, error) {
+	base, err := NewLollipop(n, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	left := base.Graph.Clone()
+	right := base.Graph.Clone()
+	left.ShufflePorts(rng)
+	right.ShufflePorts(rng)
+	clique := base.CliqueEdges()
+	e1 := clique[rng.Intn(len(clique))]
+	e2 := clique[rng.Intn(len(clique))]
+	d, err := NewDumbbell(left, right, e1, e2)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, base.Kappa, nil
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// SchemaVersion identifies the JSON document layout emitted by
+// NewJSONEmitter; see docs/SWEEP_SCHEMA.md.
+const SchemaVersion = "ule-sweep/v1"
+
+// Emitter receives the sweep stream: Begin once, Trial once per trial in
+// trial-index order, End once with the final report. Emitters are called
+// from a single goroutine; output is deterministic for a given spec
+// regardless of worker count.
+type Emitter interface {
+	Begin(spec Spec, total int) error
+	Trial(tr TrialResult) error
+	End(rep *Report) error
+}
+
+// jsonEmitter streams one JSON document:
+//
+//	{"schema":"ule-sweep/v1","spec":{...},"trials":[{...},...],"groups":[...],"total_trials":N,"errors":E}
+//
+// Trials are written as they arrive, one object per line, so memory does
+// not grow with the sweep.
+type jsonEmitter struct {
+	w      *bufio.Writer
+	trials int
+}
+
+// NewJSONEmitter returns an emitter writing the ule-sweep/v1 document to w.
+func NewJSONEmitter(w io.Writer) Emitter {
+	return &jsonEmitter{w: bufio.NewWriter(w)}
+}
+
+func (e *jsonEmitter) Begin(spec Spec, total int) error {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(e.w, "{\"schema\":%q,\n\"spec\":%s,\n\"trials\":[",
+		SchemaVersion, specJSON)
+	return err
+}
+
+func (e *jsonEmitter) Trial(tr TrialResult) error {
+	rec, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	sep := ",\n"
+	if e.trials == 0 {
+		sep = "\n"
+	}
+	e.trials++
+	_, err = fmt.Fprintf(e.w, "%s%s", sep, rec)
+	return err
+}
+
+func (e *jsonEmitter) End(rep *Report) error {
+	groups, err := json.Marshal(rep.Groups)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(e.w, "\n],\n\"groups\":%s,\n\"total_trials\":%d,\n\"errors\":%d}\n",
+		groups, rep.Total, rep.Errors); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// csvHeader is the column layout of the CSV emitter.
+var csvHeader = []string{
+	"trial", "algo", "graph", "mode", "wake", "rep", "seed",
+	"n", "m", "d", "rounds", "last_active", "messages", "bits",
+	"leaders", "unique", "halted", "hit_round_cap", "err",
+}
+
+// csvEmitter streams one row per trial.
+type csvEmitter struct {
+	w *bufio.Writer
+}
+
+// NewCSVEmitter returns an emitter writing a trials CSV to w (header row
+// first; no aggregate rows — groups belong to the JSON document).
+func NewCSVEmitter(w io.Writer) Emitter {
+	return &csvEmitter{w: bufio.NewWriter(w)}
+}
+
+func (e *csvEmitter) Begin(Spec, int) error {
+	return writeCSVRow(e.w, csvHeader)
+}
+
+func (e *csvEmitter) Trial(tr TrialResult) error {
+	return writeCSVRow(e.w, []string{
+		strconv.Itoa(tr.Index), tr.Algo, tr.Graph, tr.Mode, tr.Wake,
+		strconv.Itoa(tr.Rep), strconv.FormatInt(tr.Seed, 10),
+		strconv.Itoa(tr.N), strconv.Itoa(tr.M), strconv.Itoa(tr.D),
+		strconv.Itoa(tr.Rounds), strconv.Itoa(tr.LastActive),
+		strconv.FormatInt(tr.Messages, 10), strconv.FormatInt(tr.Bits, 10),
+		strconv.Itoa(tr.Leaders), strconv.FormatBool(tr.Unique),
+		strconv.FormatBool(tr.Halted), strconv.FormatBool(tr.HitRoundCap),
+		csvEscape(tr.Err),
+	})
+}
+
+func (e *csvEmitter) End(*Report) error {
+	return e.w.Flush()
+}
+
+func writeCSVRow(w *bufio.Writer, cells []string) error {
+	for i, c := range cells {
+		if i > 0 {
+			if err := w.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := w.WriteString(c); err != nil {
+			return err
+		}
+	}
+	return w.WriteByte('\n')
+}
+
+// csvEscape quotes the only free-form CSV column (trial errors).
+func csvEscape(s string) string {
+	if s == "" {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+// Document is the parsed form of a ule-sweep/v1 JSON file; tests and
+// downstream tooling use it to consume sweep output.
+type Document struct {
+	Schema      string        `json:"schema"`
+	Spec        Spec          `json:"spec"`
+	Trials      []TrialResult `json:"trials"`
+	Groups      []GroupStats  `json:"groups"`
+	TotalTrials int           `json:"total_trials"`
+	Errors      int           `json:"errors"`
+}
+
+// ParseDocument decodes and validates a ule-sweep/v1 document.
+func ParseDocument(data []byte) (*Document, error) {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("harness: invalid sweep document: %w", err)
+	}
+	if doc.Schema != SchemaVersion {
+		return nil, fmt.Errorf("harness: unknown schema %q (want %q)", doc.Schema, SchemaVersion)
+	}
+	if len(doc.Trials) != doc.TotalTrials {
+		return nil, fmt.Errorf("harness: document lists %d trials but declares %d",
+			len(doc.Trials), doc.TotalTrials)
+	}
+	return &doc, nil
+}

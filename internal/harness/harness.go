@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"math/rand"
+	"time"
+
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/sim"
+	"ule/internal/stats"
+)
+
+// TrialResult is the streamed per-trial record: the trial identity plus
+// the scalar measurements reduced from the full sim.Result (which is
+// discarded immediately — statuses, per-edge maps and other O(n) state
+// never accumulate across a sweep).
+type TrialResult struct {
+	Trial
+	// N, M describe the instantiated graph; D is the diameter granted as
+	// knowledge (0 when the algorithm runs without knowing D).
+	N int `json:"n"`
+	M int `json:"m"`
+	D int `json:"d,omitempty"`
+	// Rounds is the executed round count; LastActive the last round with
+	// activity (the natural time measure for quiet protocols).
+	Rounds     int `json:"rounds"`
+	LastActive int `json:"last_active"`
+	// Messages and Bits are the run's communication totals.
+	Messages int64 `json:"messages"`
+	Bits     int64 `json:"bits"`
+	// Leaders counts elected nodes; Unique is the paper's success
+	// condition (exactly one leader, nobody undecided).
+	Leaders int  `json:"leaders"`
+	Unique  bool `json:"unique"`
+	// Halted / HitRoundCap describe how the run ended.
+	Halted      bool `json:"halted"`
+	HitRoundCap bool `json:"hit_round_cap,omitempty"`
+	// Err records a per-trial model violation ("" = clean run). The sweep
+	// continues past trial errors; Report.Errors counts them.
+	Err string `json:"err,omitempty"`
+
+	// elapsed is kept out of the JSON so emitter output is byte-identical
+	// across worker counts and machines.
+	elapsed time.Duration
+}
+
+// GroupStats aggregates every repetition of one (algo, graph, mode, wake)
+// cell.
+type GroupStats struct {
+	Algo   string `json:"algo"`
+	Graph  string `json:"graph"`
+	Mode   string `json:"mode"`
+	Wake   string `json:"wake"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	D      int    `json:"d,omitempty"`
+	Trials int    `json:"trials"`
+	Errors int    `json:"errors,omitempty"`
+	// Messages/Rounds summarize clean trials; Success is the fraction of
+	// clean trials electing a unique leader.
+	Messages stats.Summary `json:"messages"`
+	Rounds   stats.Summary `json:"rounds"` // LastActive per trial
+	Bits     stats.Summary `json:"bits"`
+	Success  float64       `json:"success"`
+}
+
+// Report is the end-of-sweep synthesis returned by Run and appended by the
+// JSON emitter.
+type Report struct {
+	Spec   Spec         `json:"spec"`
+	Total  int          `json:"total_trials"`
+	Errors int          `json:"errors,omitempty"`
+	Groups []GroupStats `json:"groups"`
+
+	// Elapsed and Workers describe the execution, not the experiment;
+	// they are excluded from emitter output to keep it deterministic.
+	Elapsed time.Duration `json:"-"`
+	Workers int           `json:"-"`
+
+	// graphs holds the instantiated graph axis, parallel to Spec.Graphs.
+	graphs []*graph.Graph
+}
+
+// Graphs returns the instantiated graph axis, parallel to Spec.Graphs.
+// Callers needing per-graph normalizations (e.g. rounds/D from the
+// memoized exact diameter) use these instances instead of rebuilding.
+func (r *Report) Graphs() []*graph.Graph { return r.graphs }
+
+// Group returns the aggregate for one cell, or nil if absent.
+func (r *Report) Group(algo, graphSpec, mode, wake string) *GroupStats {
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		if g.Algo == algo && g.Graph == graphSpec && g.Mode == mode && g.Wake == wake {
+			return g
+		}
+	}
+	return nil
+}
+
+// RunConfig tunes sweep execution (all fields optional).
+type RunConfig struct {
+	// Workers is the pool size (default GOMAXPROCS).
+	Workers int
+	// Emitters receive every trial record in trial-index order, then the
+	// final report.
+	Emitters []Emitter
+	// Progress, when set, is called after every completed trial with the
+	// completed and total counts (from the single consumer goroutine).
+	Progress func(done, total int)
+}
+
+// groupAcc accumulates one cell online; only scalar samples are retained.
+type groupAcc struct {
+	key              [4]string
+	n, m, d          int
+	trials, errors   int
+	unique           int
+	msgs, rounds, bs []float64
+}
+
+// Run expands the spec and executes every trial on the work-stealing pool,
+// streaming records to the emitters and the online aggregator. Per-trial
+// model violations are recorded in the affected TrialResult and counted in
+// the report; Run itself fails only on invalid specs or emitter errors.
+func Run(spec Spec, rc RunConfig) (*Report, error) {
+	p, err := spec.compile()
+	if err != nil {
+		return nil, err
+	}
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	total := len(p.trials)
+	for _, em := range rc.Emitters {
+		if err := em.Begin(p.spec, total); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	results := make(chan TrialResult, 2*workers)
+	poolDone := make(chan struct{})
+	caches := make([]preparedCache, workers)
+	go func() {
+		defer close(results)
+		runPool(total, workers, func(i, w int) {
+			select {
+			case <-poolDone:
+				return // consumer bailed on an emitter error
+			default:
+			}
+			if caches[w] == nil {
+				caches[w] = preparedCache{}
+			}
+			results <- runTrial(p, p.trials[i], caches[w])
+		})
+	}()
+
+	// Single consumer: reorder to trial-index order, emit, aggregate.
+	// The reorder window holds only small TrialResult records.
+	var (
+		pending  = make(map[int]TrialResult)
+		nextEmit int
+		done     int
+		groups   []*groupAcc
+		byKey    = make(map[[4]string]*groupAcc)
+		emitErr  error
+	)
+	for tr := range results {
+		done++
+		if rc.Progress != nil {
+			rc.Progress(done, total)
+		}
+		pending[tr.Index] = tr
+		for {
+			next, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			nextEmit++
+			if emitErr == nil {
+				for _, em := range rc.Emitters {
+					if err := em.Trial(next); err != nil {
+						emitErr = err
+						close(poolDone)
+						break
+					}
+				}
+			}
+			key := [4]string{next.Algo, next.Graph, next.Mode, next.Wake}
+			acc, ok := byKey[key]
+			if !ok {
+				acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
+				byKey[key] = acc
+				groups = append(groups, acc)
+			}
+			acc.trials++
+			if next.Err != "" {
+				acc.errors++
+				continue
+			}
+			acc.msgs = append(acc.msgs, float64(next.Messages))
+			acc.rounds = append(acc.rounds, float64(next.LastActive))
+			acc.bs = append(acc.bs, float64(next.Bits))
+			if next.Unique {
+				acc.unique++
+			}
+		}
+	}
+	if emitErr != nil {
+		return nil, emitErr
+	}
+
+	rep := &Report{
+		Spec:    p.spec,
+		Total:   total,
+		Elapsed: time.Since(start),
+		Workers: workers,
+		graphs:  p.graphs,
+	}
+	// The consumer aggregates in trial-index order, so groups are already
+	// in deterministic expansion (graph-major) order.
+	for _, acc := range groups {
+		gs := GroupStats{
+			Algo: acc.key[0], Graph: acc.key[1], Mode: acc.key[2], Wake: acc.key[3],
+			N: acc.n, M: acc.m, D: acc.d,
+			Trials:   acc.trials,
+			Errors:   acc.errors,
+			Messages: stats.Summarize(acc.msgs),
+			Rounds:   stats.Summarize(acc.rounds),
+			Bits:     stats.Summarize(acc.bs),
+		}
+		if clean := acc.trials - acc.errors; clean > 0 {
+			gs.Success = float64(acc.unique) / float64(clean)
+		}
+		rep.Errors += acc.errors
+		rep.Groups = append(rep.Groups, gs)
+	}
+	for _, em := range rc.Emitters {
+		if err := em.End(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// preparedCache holds one worker's (graph, algorithm) → Prepared
+// bindings. It is per-worker state, so no locking; the Prepared inside
+// reuses engine buffers across every trial the worker runs in that cell.
+type preparedCache map[preparedKey]*core.Prepared
+
+type preparedKey struct {
+	graphIdx int
+	algo     string
+}
+
+// runTrial executes one trial through the worker's Prepared cache and
+// reduces the full sim.Result to the streamed record.
+func runTrial(p *plan, t Trial, cache preparedCache) TrialResult {
+	g := p.graphs[t.graphIdx]
+	tr := TrialResult{Trial: t, N: g.N(), M: g.M()}
+	key := preparedKey{t.graphIdx, t.Algo}
+	prep, ok := cache[key]
+	if !ok {
+		var err error
+		prep, err = core.Prepare(g, t.Algo)
+		if err != nil {
+			tr.Err = err.Error()
+			return tr
+		}
+		cache[key] = prep
+	}
+	return finishTrial(p, t, g, prep, tr)
+}
+
+func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, tr TrialResult) TrialResult {
+	var ids []int64
+	if p.spec.SmallIDs {
+		ids = sim.PermutationIDs(g.N(), rand.New(rand.NewSource(sim.NodeSeed(t.Seed, -2))))
+	}
+	ro := core.RunOpts{
+		Seed:      t.Seed,
+		IDs:       ids,
+		MaxRounds: p.spec.MaxRounds,
+		Mode:      t.mode,
+		Wake:      wakeSchedule(t.Wake, g.N(), t.Seed),
+		Opt:       p.spec.Opt,
+	}
+	start := time.Now()
+	res, err := prep.Run(ro)
+	tr.elapsed = time.Since(start)
+	if err != nil {
+		tr.Err = err.Error()
+		return tr
+	}
+	if prep.Spec().NeedsD {
+		tr.D = g.DiameterExact()
+	}
+	tr.Rounds = res.Rounds
+	tr.LastActive = res.LastActive
+	tr.Messages = res.Messages
+	tr.Bits = res.Bits
+	tr.Leaders = res.LeaderCount()
+	tr.Unique = res.UniqueLeader()
+	tr.Halted = res.Halted
+	tr.HitRoundCap = res.HitRoundCap
+	return tr
+}
+
+// Smoke is a small built-in sweep used by `make sweep-smoke` and the CI
+// pipeline: every registered algorithm on two graph families.
+func Smoke() Spec {
+	return Spec{
+		Name:     "smoke",
+		Algos:    core.Names(),
+		Graphs:   []string{"ring:16", "random:24:60"},
+		Trials:   2,
+		Seed:     1,
+		SmallIDs: true,
+	}
+}

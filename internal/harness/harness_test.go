@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sweepSpec is the shared ≥100-trial matrix used by the determinism and
+// speedup tests: 4 algorithms × 2 graphs × 2 wake schedules × 4 reps.
+func sweepSpec() Spec {
+	return Spec{
+		Name:   "determinism-matrix",
+		Algos:  []string{"leastel", "leastel-const", "kingdom", "lasvegas"},
+		Graphs: []string{"ring:24", "random:32:96", "grid:5x5", "dumbbell:16:60"},
+		Wakes:  []string{"sync", "random:4"},
+		Trials: 4,
+		Seed:   7,
+	}
+}
+
+func runToJSON(t *testing.T, spec Spec, workers int) ([]byte, *Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	rep, err := Run(spec, RunConfig{Workers: workers, Emitters: []Emitter{NewJSONEmitter(&buf)}})
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return buf.Bytes(), rep
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := sweepSpec()
+	if n := spec.NumTrials(); n < 100 {
+		t.Fatalf("matrix has %d trials, want >= 100", n)
+	}
+	seqJSON, seqRep := runToJSON(t, spec, 1)
+	parJSON, parRep := runToJSON(t, spec, 8)
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatalf("sweep output differs between 1 and 8 workers (%d vs %d bytes)",
+			len(seqJSON), len(parJSON))
+	}
+	if seqRep.Total != parRep.Total || seqRep.Total != spec.NumTrials() {
+		t.Fatalf("trial totals: seq=%d par=%d want %d", seqRep.Total, parRep.Total, spec.NumTrials())
+	}
+	if seqRep.Errors != 0 {
+		t.Fatalf("sweep reported %d trial errors", seqRep.Errors)
+	}
+}
+
+func TestJSONDocumentConsumable(t *testing.T) {
+	spec := sweepSpec()
+	data, rep := runToJSON(t, spec, 4)
+	doc, err := ParseDocument(data)
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	if doc.Schema != SchemaVersion {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if len(doc.Trials) != spec.NumTrials() {
+		t.Fatalf("document has %d trials, want %d", len(doc.Trials), spec.NumTrials())
+	}
+	if len(doc.Groups) != len(rep.Groups) {
+		t.Fatalf("document has %d groups, report %d", len(doc.Groups), len(rep.Groups))
+	}
+	// Trials must be in index order with deterministic per-rep seeds.
+	for i, tr := range doc.Trials {
+		if tr.Index != i {
+			t.Fatalf("trial %d has index %d", i, tr.Index)
+		}
+		if tr.Seed != TrialSeed(spec.Seed, tr.Rep) {
+			t.Fatalf("trial %d: seed %d, want %d", i, tr.Seed, TrialSeed(spec.Seed, tr.Rep))
+		}
+		if tr.N == 0 || tr.M == 0 {
+			t.Fatalf("trial %d: missing graph dimensions: %+v", i, tr)
+		}
+	}
+	for _, g := range doc.Groups {
+		if g.Trials != spec.Trials {
+			t.Fatalf("group %v: %d trials, want %d", g, g.Trials, spec.Trials)
+		}
+		if g.Success < 0 || g.Success > 1 {
+			t.Fatalf("group %v: success %f out of range", g, g.Success)
+		}
+		if g.Messages.Count != g.Trials-g.Errors {
+			t.Fatalf("group %v: %d message samples for %d clean trials",
+				g, g.Messages.Count, g.Trials-g.Errors)
+		}
+	}
+	// The paired-sample design must make the sync-wake cells reproducible
+	// via Report.Group lookup.
+	if g := rep.Group("leastel", "ring:24", "congest", "sync"); g == nil || g.Success == 0 {
+		t.Fatalf("leastel/ring:24 group missing or never succeeded: %+v", g)
+	}
+}
+
+func TestCSVEmitter(t *testing.T) {
+	spec := Spec{Algos: []string{"leastel"}, Graphs: []string{"ring:8"}, Trials: 3, Seed: 2}
+	var buf bytes.Buffer
+	if _, err := Run(spec, RunConfig{Workers: 2, Emitters: []Emitter{NewCSVEmitter(&buf)}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "trial,algo,graph,") {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(csvHeader) {
+			t.Fatalf("CSV row has %d cells, want %d: %q", got, len(csvHeader), line)
+		}
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	spec := Spec{Algos: []string{"leastel"}, Graphs: []string{"ring:8"}, Trials: 5, Seed: 2}
+	var calls, last int
+	_, err := Run(spec, RunConfig{Workers: 2, Progress: func(done, total int) {
+		calls++
+		last = done
+		if total != 5 {
+			t.Errorf("progress total = %d, want 5", total)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 || last != 5 {
+		t.Fatalf("progress called %d times (last done=%d), want 5/5", calls, last)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Algos: []string{"leastel"}},
+		{Algos: []string{"nosuch"}, Graphs: []string{"ring:8"}},
+		{Algos: []string{"leastel"}, Graphs: []string{"nosuch:8"}},
+		{Algos: []string{"leastel"}, Graphs: []string{"ring:8"}, Modes: []string{"quantum"}},
+		{Algos: []string{"leastel"}, Graphs: []string{"ring:8"}, Wakes: []string{"random:-1"}},
+		{Algos: []string{"leastel"}, Graphs: []string{"ring:8"}, Wakes: []string{"sync:3"}},
+	}
+	for i, spec := range bad {
+		if _, err := Run(spec, RunConfig{}); err == nil {
+			t.Errorf("spec %d: want error, got nil", i)
+		}
+	}
+}
+
+func TestWakeSchedules(t *testing.T) {
+	if w := wakeSchedule("sync", 8, 1); w != nil {
+		t.Fatalf("sync schedule = %v, want nil", w)
+	}
+	w := wakeSchedule("random:4", 8, 1)
+	for i, r := range w {
+		if r < 1 || r > 4 {
+			t.Fatalf("random:4 node %d wakes at %d", i, r)
+		}
+	}
+	again := wakeSchedule("random:4", 8, 1)
+	for i := range w {
+		if w[i] != again[i] {
+			t.Fatalf("random schedule not deterministic at node %d", i)
+		}
+	}
+	w = wakeSchedule("stagger:3", 7, 1)
+	for i, r := range w {
+		if r != 1+i%3 {
+			t.Fatalf("stagger:3 node %d wakes at %d", i, r)
+		}
+	}
+	w = wakeSchedule("adversarial", 9, 5)
+	spontaneous := 0
+	for _, r := range w {
+		if r == 1 {
+			spontaneous++
+		} else if r != -1 {
+			t.Fatalf("adversarial schedule has wake round %d", r)
+		}
+	}
+	if spontaneous != 1 {
+		t.Fatalf("adversarial schedule has %d spontaneous wakers, want 1", spontaneous)
+	}
+}
+
+func TestPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		for _, total := range []int{0, 1, 7, 64, 257} {
+			counts := make([]int32, total)
+			var maxWorker int32 = -1
+			runPool(total, workers, func(i, w int) {
+				atomic.AddInt32(&counts[i], 1)
+				for {
+					old := atomic.LoadInt32(&maxWorker)
+					if int32(w) <= old || atomic.CompareAndSwapInt32(&maxWorker, old, int32(w)) {
+						break
+					}
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d total=%d: index %d ran %d times", workers, total, i, c)
+				}
+			}
+			if total > 0 && int(maxWorker) >= workers {
+				t.Fatalf("worker index %d out of range (workers=%d)", maxWorker, workers)
+			}
+		}
+	}
+}
+
+func TestPoolStealsFromUnevenShards(t *testing.T) {
+	// Make shard 0's items very slow; with stealing, other workers must
+	// execute some indices from shard 0's initial range.
+	const total, workers = 64, 4
+	var ranBy [total]int32
+	var slow sync.Once
+	runPool(total, workers, func(i, w int) {
+		atomic.StoreInt32(&ranBy[i], int32(w)+1)
+		if i == 0 {
+			slow.Do(func() { time.Sleep(50 * time.Millisecond) })
+		}
+	})
+	stolen := 0
+	for i := 1; i < total/workers; i++ { // shard 0's initial range, minus item 0
+		if w := atomic.LoadInt32(&ranBy[i]); w != 0 && w != 1 {
+			stolen++
+		}
+	}
+	if runtime.GOMAXPROCS(0) > 1 && stolen == 0 {
+		t.Log("no steals observed from the slow shard (timing-dependent; not fatal)")
+	}
+}
+
+func TestSmokeSpecRuns(t *testing.T) {
+	spec := Smoke()
+	rep, err := Run(spec, RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != spec.NumTrials() {
+		t.Fatalf("smoke ran %d trials, want %d", rep.Total, spec.NumTrials())
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("smoke sweep reported %d errors", rep.Errors)
+	}
+	for _, g := range rep.Groups {
+		if g.Trials == 0 {
+			t.Fatalf("empty group %+v", g)
+		}
+	}
+}
+
+// TestParallelSpeedup demonstrates the ≥2× wall-clock speedup of the pool
+// on a multi-core machine. It needs real parallel hardware, so it skips
+// below 4 procs and under -short.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		t.Skipf("need >= 4 procs for a stable 2x speedup measurement, have %d", procs)
+	}
+	spec := sweepSpec()
+	spec.Trials = 8 // ≥ 256 trials of real work
+	start := time.Now()
+	seqJSON, _ := runToJSON(t, spec, 1)
+	seqElapsed := time.Since(start)
+	start = time.Now()
+	parJSON, _ := runToJSON(t, spec, procs)
+	parElapsed := time.Since(start)
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatal("parallel sweep output differs from sequential")
+	}
+	speedup := float64(seqElapsed) / float64(parElapsed)
+	t.Logf("sequential %v, %d workers %v: speedup %.2fx", seqElapsed, procs, parElapsed, speedup)
+	if speedup < 2 {
+		t.Errorf("speedup %.2fx < 2x (seq %v, par %v)", speedup, seqElapsed, parElapsed)
+	}
+}

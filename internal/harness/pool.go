@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shard is one worker's contiguous range of pending trial indices.
+// Victims of a steal lose the upper half of their range.
+type shard struct {
+	mu        sync.Mutex
+	next, end int
+}
+
+// take claims the next index of the shard, or returns -1 if it is empty.
+func (s *shard) take() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next >= s.end {
+		return -1
+	}
+	i := s.next
+	s.next++
+	return i
+}
+
+// stealHalf removes and returns the upper half of the shard's remaining
+// range (ok=false if there is nothing worth stealing).
+func (s *shard) stealHalf() (lo, hi int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	remaining := s.end - s.next
+	if remaining < 2 {
+		return 0, 0, false
+	}
+	mid := s.next + remaining/2
+	lo, hi = mid, s.end
+	s.end = mid
+	return lo, hi, true
+}
+
+// install replaces the shard's range (only the owner calls this, and only
+// when its range is already empty).
+func (s *shard) install(lo, hi int) {
+	s.mu.Lock()
+	s.next, s.end = lo, hi
+	s.mu.Unlock()
+}
+
+// runPool executes run(i) for every i in [0, total) on a pool of workers
+// with work stealing: each worker starts with an equal contiguous slice of
+// the index space and, when its own slice drains, steals the upper half of
+// the fullest remaining slice. Contiguous slices keep each worker inside
+// one (graph, algorithm) cell for long stretches, which is what makes the
+// per-worker Prepared caches effective; stealing keeps stragglers busy
+// when cells have very uneven trial costs.
+//
+// run receives the worker index as its second argument.
+func runPool(total, workers int, run func(i, worker int)) {
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			run(i, 0)
+		}
+		return
+	}
+	shards := make([]*shard, workers)
+	for w := 0; w < workers; w++ {
+		shards[w] = &shard{next: w * total / workers, end: (w + 1) * total / workers}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := shards[w]
+			for {
+				i := own.take()
+				if i < 0 {
+					// Own shard drained: steal half of the fullest victim.
+					best, bestRemaining := -1, 1
+					for v, s := range shards {
+						if v == w {
+							continue
+						}
+						s.mu.Lock()
+						r := s.end - s.next
+						s.mu.Unlock()
+						if r > bestRemaining {
+							best, bestRemaining = v, r
+						}
+					}
+					if best < 0 {
+						return // every shard is empty or down to its last item
+					}
+					lo, hi, ok := shards[best].stealHalf()
+					if !ok {
+						continue // lost the race; rescan
+					}
+					own.install(lo, hi)
+					continue
+				}
+				run(i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// defaultWorkers is the worker count used when the caller passes 0.
+func defaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,276 @@
+// Package harness is the parallel experiment-sweep engine: it expands a
+// declarative sweep specification (algorithm set × graph family × modes ×
+// wake schedules × repetitions) into deterministic trials, executes them
+// on a work-stealing goroutine pool, and streams the results through
+// JSON/CSV emitters and an online aggregator.
+//
+// Determinism: every trial's randomness derives from (Spec.Seed, rep), so
+// the r-th repetition of every (algorithm, graph, mode, wake) cell sees
+// the same coins and ID assignment — a paired-sample design — and the
+// same spec produces byte-identical emitter output regardless of worker
+// count. Results are streamed, not accumulated: workers discard the full
+// sim.Result (statuses, per-edge maps and other O(n) state) after
+// reducing it to a small TrialResult record. What the consumer retains is
+// the emit reorder window plus, for the exact order statistics in the
+// group summaries, three float64 samples per trial in the aggregator.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/sim"
+)
+
+// Spec declaratively describes a sweep. The zero values of optional
+// fields select the documented defaults, so a minimal spec is just
+// {Algos, Graphs}. Specs round-trip through JSON; see docs/SWEEP_SCHEMA.md.
+type Spec struct {
+	// Name labels the sweep in reports and emitted files.
+	Name string `json:"name,omitempty"`
+	// Algos lists internal/core registry names.
+	Algos []string `json:"algos"`
+	// Graphs lists graph.FromSpec family specs (e.g. "ring:64",
+	// "random:128:640"). Each entry is instantiated once and shared by
+	// all its trials.
+	Graphs []string `json:"graphs"`
+	// Trials is the number of repetitions per cell (default 1).
+	Trials int `json:"trials,omitempty"`
+	// Seed derives all per-trial randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Modes lists communication models: "congest", "local" (default
+	// ["congest"]).
+	Modes []string `json:"modes,omitempty"`
+	// Wakes lists wake schedules: "sync", "random:R", "stagger:K",
+	// "adversarial" (default ["sync"]).
+	Wakes []string `json:"wakes,omitempty"`
+	// MaxRounds bounds each run (default 1 << 18).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// SmallIDs assigns permutation IDs 1..n instead of random 64-bit IDs
+	// (required for "dfs", whose running time is exponential in the
+	// minimum ID).
+	SmallIDs bool `json:"small_ids,omitempty"`
+	// Opt tunes the algorithms (shared by every trial).
+	Opt core.Options `json:"opt,omitempty"`
+}
+
+// Trial identifies one expanded (algorithm, graph, mode, wake, rep) cell
+// repetition. Index is the position in expansion order; Seed is the
+// trial's deterministic root seed.
+type Trial struct {
+	Index int    `json:"trial"`
+	Algo  string `json:"algo"`
+	Graph string `json:"graph"`
+	Mode  string `json:"mode"`
+	Wake  string `json:"wake"`
+	Rep   int    `json:"rep"`
+	Seed  int64  `json:"seed"`
+
+	graphIdx int
+	mode     sim.Mode
+}
+
+// TrialSeed derives the deterministic root seed of repetition rep.
+// Repetitions share seeds across cells (paired-sample design).
+func TrialSeed(base int64, rep int) int64 {
+	return sim.NodeSeed(base, rep)
+}
+
+// graphSeed derives the instantiation seed of the i-th graph axis entry.
+func graphSeed(base int64, i int) int64 {
+	return sim.NodeSeed(base, -1000-i)
+}
+
+// plan is the validated, expanded form of a Spec.
+type plan struct {
+	spec   Spec
+	graphs []*graph.Graph // parallel to spec.Graphs
+	trials []Trial
+}
+
+func parseMode(s string) (sim.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "congest":
+		return sim.CONGEST, nil
+	case "local":
+		return sim.LOCAL, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown mode %q (want congest or local)", s)
+	}
+}
+
+// parseWake validates a wake-schedule spec. Schedules:
+//
+//	sync         all nodes wake in round 1 (the default)
+//	random:R     each node wakes uniformly in rounds [1, R]
+//	stagger:K    node i wakes in round 1 + (i mod K)
+//	adversarial  one seeded random node wakes in round 1; every other
+//	             node sleeps until a message arrives
+func parseWake(s string) error {
+	kind, arg, hasArg := strings.Cut(s, ":")
+	switch kind {
+	case "", "sync", "adversarial":
+		if hasArg {
+			return fmt.Errorf("harness: wake %q takes no parameter", s)
+		}
+		return nil
+	case "random", "stagger":
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 1 {
+			return fmt.Errorf("harness: wake %q needs a positive integer parameter", s)
+		}
+		return nil
+	default:
+		return fmt.Errorf("harness: unknown wake schedule %q", s)
+	}
+}
+
+// wakeSchedule materializes a parsed wake spec for an n-node trial. The
+// schedule derives from the trial seed, so it is deterministic and
+// repetition-paired like every other source of randomness.
+func wakeSchedule(spec string, n int, trialSeed int64) []int {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "", "sync":
+		return nil
+	case "random":
+		span, _ := strconv.Atoi(arg)
+		rng := rand.New(rand.NewSource(sim.NodeSeed(trialSeed, -3)))
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(span)
+		}
+		return w
+	case "stagger":
+		k, _ := strconv.Atoi(arg)
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + i%k
+		}
+		return w
+	case "adversarial":
+		rng := rand.New(rand.NewSource(sim.NodeSeed(trialSeed, -3)))
+		w := make([]int, n)
+		for i := range w {
+			w[i] = sim.WakeOnMessage
+		}
+		w[rng.Intn(n)] = 1
+		return w
+	default:
+		panic("harness: unvalidated wake spec " + spec)
+	}
+}
+
+// withDefaults resolves the zero values of optional fields.
+func (s Spec) withDefaults() Spec {
+	if s.Trials <= 0 {
+		s.Trials = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.MaxRounds <= 0 {
+		s.MaxRounds = 1 << 18
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = []string{"congest"}
+	}
+	if len(s.Wakes) == 0 {
+		s.Wakes = []string{"sync"}
+	}
+	return s
+}
+
+// BuildGraphs instantiates the spec's graph axis exactly as Run does
+// (deterministic given Spec.Seed), for callers that need the instances —
+// e.g. to compute table normalizations like rounds/D from the memoized
+// exact diameter.
+func (s Spec) BuildGraphs() ([]*graph.Graph, error) {
+	s = s.withDefaults()
+	graphs := make([]*graph.Graph, len(s.Graphs))
+	for i, gs := range s.Graphs {
+		g, err := graph.FromSpec(gs, graphSeed(s.Seed, i))
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
+}
+
+// compile validates the spec, instantiates every graph, and expands the
+// cross product into the deterministic trial list.
+func (s Spec) compile() (*plan, error) {
+	if len(s.Algos) == 0 {
+		return nil, fmt.Errorf("harness: spec needs at least one algorithm")
+	}
+	if len(s.Graphs) == 0 {
+		return nil, fmt.Errorf("harness: spec needs at least one graph")
+	}
+	s = s.withDefaults()
+	for _, a := range s.Algos {
+		if _, ok := core.Get(a); !ok {
+			return nil, fmt.Errorf("harness: unknown algorithm %q", a)
+		}
+	}
+	modes := make([]sim.Mode, len(s.Modes))
+	for i, m := range s.Modes {
+		mode, err := parseMode(m)
+		if err != nil {
+			return nil, err
+		}
+		modes[i] = mode
+	}
+	for _, w := range s.Wakes {
+		if err := parseWake(w); err != nil {
+			return nil, err
+		}
+	}
+	graphs, err := s.BuildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{spec: s, graphs: graphs}
+	for gi, gs := range s.Graphs {
+		for _, algo := range s.Algos {
+			for mi, mode := range s.Modes {
+				for _, wake := range s.Wakes {
+					for rep := 0; rep < s.Trials; rep++ {
+						p.trials = append(p.trials, Trial{
+							Index:    len(p.trials),
+							Algo:     algo,
+							Graph:    gs,
+							Mode:     strings.ToLower(mode),
+							Wake:     wake,
+							Rep:      rep,
+							Seed:     TrialSeed(s.Seed, rep),
+							graphIdx: gi,
+							mode:     modes[mi],
+						})
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// NumTrials returns the number of trials the spec expands to, without
+// instantiating graphs.
+func (s Spec) NumTrials() int {
+	trials, modes, wakes := s.Trials, len(s.Modes), len(s.Wakes)
+	if trials <= 0 {
+		trials = 1
+	}
+	if modes == 0 {
+		modes = 1
+	}
+	if wakes == 0 {
+		wakes = 1
+	}
+	return len(s.Algos) * len(s.Graphs) * modes * wakes * trials
+}

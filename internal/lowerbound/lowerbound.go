@@ -52,22 +52,7 @@ func (s Sweep) maxRounds() int {
 // [1, (2n)^4] with disjoint halves. It also returns the lollipop clique
 // size κ, which determines the invariant diameter 2(n−κ)+1.
 func DumbbellInstance(n, m int, rng *rand.Rand) (*graph.Dumbbell, int, error) {
-	base, err := graph.NewLollipop(n, m)
-	if err != nil {
-		return nil, 0, err
-	}
-	left := base.Graph.Clone()
-	right := base.Graph.Clone()
-	left.ShufflePorts(rng)
-	right.ShufflePorts(rng)
-	ce := base.CliqueEdges()
-	e1 := ce[rng.Intn(len(ce))]
-	e2 := ce[rng.Intn(len(ce))]
-	db, err := graph.NewDumbbell(left, right, e1, e2)
-	if err != nil {
-		return nil, 0, err
-	}
-	return db, base.Kappa, nil
+	return graph.RandomDumbbell(n, m, rng)
 }
 
 // MessageRow is one dumbbell measurement.

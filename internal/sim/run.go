@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"ule/internal/graph"
 )
 
 // DefaultMaxRounds bounds runs whose protocols fail to terminate.
@@ -22,11 +24,87 @@ func DefaultBitCap(n int) int {
 // summary. It returns an error for invalid configurations and for model
 // violations committed by the protocol (double sends, oversized CONGEST
 // messages).
+//
+// Run builds fresh engine state per call; batch drivers running many
+// trials on one graph should allocate a Runner once and reuse it.
 func Run(cfg Config, p Protocol) (*Result, error) {
-	g := cfg.Graph
+	r, err := NewRunner(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(cfg, p)
+}
+
+// Runner executes runs on one fixed graph, reusing the engine state that
+// depends only on the topology (reverse-port tables) and the per-node
+// scratch buffers (outboxes, inboxes, status vectors, RNGs) across runs.
+// For sweep workloads this removes almost all per-trial allocation; a
+// Runner is NOT safe for concurrent use — give each worker its own.
+type Runner struct {
+	g *graph.Graph
+
+	// portBack[u][p] is the port at Neighbor(u,p) leading back to u.
+	// Purely topological, computed once.
+	portBack [][]int
+
+	// Reusable per-node scratch, reset at the start of every run.
+	outbox  [][][]Payload
+	inbox   [][]Message
+	status  []Status
+	halted  []bool
+	awake   []bool
+	changed []bool
+	nodeErr []error
+	procs   []Process
+	ctxs    []Context
+	rngs    []*rand.Rand
+}
+
+// NewRunner validates the graph and precomputes the reusable engine state.
+func NewRunner(g *graph.Graph) (*Runner, error) {
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("%w: empty graph", ErrConfig)
 	}
+	n := g.N()
+	r := &Runner{
+		g:        g,
+		portBack: make([][]int, n),
+		outbox:   make([][][]Payload, n),
+		inbox:    make([][]Message, n),
+		status:   make([]Status, n),
+		halted:   make([]bool, n),
+		awake:    make([]bool, n),
+		changed:  make([]bool, n),
+		nodeErr:  make([]error, n),
+		procs:    make([]Process, n),
+		ctxs:     make([]Context, n),
+		rngs:     make([]*rand.Rand, n),
+	}
+	for u := 0; u < n; u++ {
+		deg := g.Degree(u)
+		r.portBack[u] = make([]int, deg)
+		for p := 0; p < deg; p++ {
+			v := g.Neighbor(u, p)
+			back := g.PortTo(v, u)
+			if back < 0 {
+				return nil, fmt.Errorf("%w: asymmetric adjacency at (%d,%d)", ErrConfig, u, v)
+			}
+			r.portBack[u][p] = back
+		}
+		r.outbox[u] = make([][]Payload, deg)
+		r.rngs[u] = rand.New(rand.NewSource(0))
+	}
+	return r, nil
+}
+
+// Run executes one protocol run. cfg.Graph must be nil or the Runner's own
+// graph. The returned Result does not alias the Runner's reusable state.
+func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
+	g := r.g
+	if cfg.Graph != nil && cfg.Graph != g {
+		return nil, fmt.Errorf("%w: Runner bound to a different graph", ErrConfig)
+	}
+	cfg.Graph = g
 	n := g.N()
 	if cfg.IDs != nil {
 		if len(cfg.IDs) != n {
@@ -63,43 +141,42 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		}
 	}
 
-	e := &engine{cfg: cfg, g: g, bitCap: bitCap, sendCap: sendCap}
-	e.portBack = make([][]int, n)
-	e.outbox = make([][][]Payload, n)
-	e.inbox = make([][]Message, n)
-	e.status = make([]Status, n)
-	e.halted = make([]bool, n)
-	e.changed = make([]bool, n)
-	e.nodeErr = make([]error, n)
-	e.awake = make([]bool, n)
-	e.procs = make([]Process, n)
-	e.ctxs = make([]Context, n)
+	// Reset the reusable scratch and wire it into a fresh engine shell.
+	e := &engine{
+		cfg: cfg, g: g, bitCap: bitCap, sendCap: sendCap,
+		portBack: r.portBack,
+		outbox:   r.outbox,
+		inbox:    r.inbox,
+		status:   r.status,
+		halted:   r.halted,
+		awake:    r.awake,
+		changed:  r.changed,
+		nodeErr:  r.nodeErr,
+		procs:    r.procs,
+		ctxs:     r.ctxs,
+	}
 	for u := 0; u < n; u++ {
-		deg := g.Degree(u)
-		e.portBack[u] = make([]int, deg)
-		for p := 0; p < deg; p++ {
-			v := g.Neighbor(u, p)
-			back := g.PortTo(v, u)
-			if back < 0 {
-				return nil, fmt.Errorf("%w: asymmetric adjacency at (%d,%d)", ErrConfig, u, v)
-			}
-			e.portBack[u][p] = back
+		for pt := range e.outbox[u] {
+			e.outbox[u][pt] = e.outbox[u][pt][:0]
 		}
-		e.outbox[u] = make([][]Payload, deg)
+		e.inbox[u] = e.inbox[u][:0]
+		e.status[u] = Undecided
+		e.halted[u] = false
+		e.awake[u] = false
+		e.changed[u] = false
+		e.nodeErr[u] = nil
 		var id int64
 		hasID := false
 		if cfg.IDs != nil {
 			id = cfg.IDs[u]
 			hasID = true
 		}
-		info := NodeInfo{ID: id, HasID: hasID, Degree: deg, Know: cfg.Know}
+		info := NodeInfo{ID: id, HasID: hasID, Degree: g.Degree(u), Know: cfg.Know}
 		e.procs[u] = p.New(info)
-		e.ctxs[u] = Context{
-			eng:  e,
-			node: u,
-			info: info,
-			rng:  rand.New(rand.NewSource(NodeSeed(cfg.Seed, u))),
-		}
+		// Reseeding restores the exact state of a freshly constructed
+		// rand.New(rand.NewSource(seed)), so reuse is invisible to runs.
+		r.rngs[u].Seed(NodeSeed(cfg.Seed, u))
+		e.ctxs[u] = Context{eng: e, node: u, info: info, rng: r.rngs[u]}
 	}
 	if len(cfg.WatchEdges) > 0 {
 		e.watch = make(map[[2]int]bool, len(cfg.WatchEdges))
