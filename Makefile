@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke sweep-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke sweep-smoke fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
@@ -33,5 +33,16 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Docs hygiene: every file under docs/ must be linked from README.md, and
+# the runnable godoc examples must pass (gofmt/vet cover them via
+# fmt-check and vet, which gate this target).
+docs-check: fmt-check vet
+	@missing=0; for f in docs/*.md; do \
+		if ! grep -q "$$f" README.md; then \
+			echo "README.md does not link $$f"; missing=1; \
+		fi; \
+	done; [ $$missing -eq 0 ]
+	$(GO) test -run Example ./...
+
 # Everything the CI pipeline runs, in the same order.
-ci: fmt-check vet build race bench-smoke sweep-smoke
+ci: fmt-check vet build race bench-smoke sweep-smoke docs-check

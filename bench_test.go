@@ -284,6 +284,129 @@ func BenchmarkAblation_SpannerK(b *testing.B) {
 	}
 }
 
+// --- Engine: event-driven scheduler vs legacy dense loop ----------------
+
+// waveMsg/waveProto is the canonical sparse-activity workload: one node
+// wakes spontaneously (adversarial wake-up), a one-shot wave crosses the
+// graph, and every node halts right after forwarding it. At any moment
+// only the wavefront is active, so the event-driven engine touches O(1)
+// nodes per round while the dense loop scans all n.
+type waveMsg struct{}
+
+func (waveMsg) Bits() int { return 1 }
+
+type waveProto struct{}
+
+func (waveProto) Name() string                 { return "wave" }
+func (waveProto) New(sim.NodeInfo) sim.Process { return &waveProc{} }
+
+type waveProc struct{ done bool }
+
+func (p *waveProc) Start(c *sim.Context) {
+	if c.SpontaneousWake() {
+		p.done = true
+		c.Broadcast(waveMsg{})
+		c.Decide(sim.NonLeader)
+		c.Halt()
+	}
+}
+
+func (p *waveProc) Round(c *sim.Context, inbox []sim.Message) {
+	if !p.done {
+		p.done = true
+		c.BroadcastExcept(inbox[0].Port, waveMsg{})
+		c.Decide(sim.NonLeader)
+	}
+	c.Halt()
+}
+
+// adversarialWake wakes only node 0; everyone else sleeps until a message
+// arrives.
+func adversarialWake(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = sim.WakeOnMessage
+	}
+	w[0] = 1
+	return w
+}
+
+// BenchmarkEngineSparse_WaveRing4096 is the headline sparse-activity
+// comparison: adversarial wake-up on ring:4096, event engine vs the seed's
+// dense per-round loop (identical results, different wall-clock). Recorded
+// in BENCH_EVENT_ENGINE.json.
+func BenchmarkEngineSparse_WaveRing4096(b *testing.B) {
+	g := graph.Ring(4096)
+	wake := adversarialWake(g.N())
+	for _, engine := range []string{"dense", "event"} {
+		b.Run(engine, func(b *testing.B) {
+			r, err := sim.NewRunner(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Run(sim.Config{
+					Seed: int64(i), Wake: wake, DenseLoop: engine == "dense",
+				}, waveProto{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Node 0 sends 2, every other node forwards once: n+1 total.
+				if !res.Halted || res.Messages != int64(g.N()+1) {
+					b.Fatalf("wave broken: halted=%v messages=%d", res.Halted, res.Messages)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSparse_LeastelAdversarial runs a registered algorithm
+// under adversarial wake-up on ring:4096: the awake set grows gradually,
+// so the event engine skips the still-sleeping half of the ring that the
+// dense loop keeps scanning.
+func BenchmarkEngineSparse_LeastelAdversarial(b *testing.B) {
+	g := graph.Ring(4096)
+	wake := adversarialWake(g.N())
+	for _, engine := range []string{"dense", "event"} {
+		b.Run(engine, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, "leastel", core.RunOpts{
+					Seed: int64(i), Wake: wake, MaxRounds: 1 << 15,
+					DenseLoop: engine == "dense",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.UniqueLeader() {
+					b.Fatal("election failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineAsync measures the event engine in ASYNC mode under each
+// delay adversary (there is no dense-loop equivalent to compare against).
+func BenchmarkEngineAsync(b *testing.B) {
+	g := mustRandom(b, 512, 2048, 12)
+	for _, delay := range []string{"unit", "random:8", "fifo:8"} {
+		b.Run(delay, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, "leastel-const", core.RunOpts{
+					Seed: int64(i), Mode: sim.ASYNC, Delay: delay, MaxRounds: 1 << 18,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LeaderCount() == 0 {
+					b.Fatal("no leader under async adversary")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineParallel compares the sequential and goroutine engines on
 // a large instance (identical results, different wall-clock).
 func BenchmarkEngineParallel(b *testing.B) {

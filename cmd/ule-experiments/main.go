@@ -8,9 +8,11 @@
 //	E5  Cor 3.12      Ω(m) broadcast on dumbbells
 //	E6–E14            one upper-bound sweep per Table 1 row
 //	E15 Table 1       head-to-head synthesis on a common graph set
+//	E16 §2 (JACM)     the asynchronous model: every algorithm under the
+//	                  unit / bounded-random / FIFO-per-link adversaries
 //
 // The lower-bound experiments (E1–E5) sample fresh adversarial instances
-// per trial through internal/lowerbound; every upper-bound sweep (E6–E15)
+// per trial through internal/lowerbound; every upper-bound sweep (E6–E16)
 // is a declarative internal/harness spec executed on the work-stealing
 // pool, so -workers parallelizes them across cores.
 //
@@ -20,8 +22,12 @@
 //
 //	ule-experiments -sweep spec.json -workers 8 -json out.json
 //	ule-experiments -sweep builtin:smoke -csv-out trials.csv
+//	ule-experiments -sweep spec.json -mode async -delays random:8,fifo:8
 //
-// The sweep spec JSON schema is documented in docs/SWEEP_SCHEMA.md.
+// -mode and -delays override the spec's modes/delays axes, so one spec
+// file serves both the synchronous and asynchronous scenario space. The
+// sweep spec JSON schema (ule-sweep/v2) is documented in
+// docs/SWEEP_SCHEMA.md.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"ule/internal/core"
@@ -64,15 +71,17 @@ func run(args []string) error {
 		only     = fs.String("only", "", "run a single experiment id (e.g. E3)")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
 		sweep    = fs.String("sweep", "", "run a declarative sweep instead of the experiments: JSON spec file or builtin:smoke")
-		jsonOut  = fs.String("json", "", "sweep mode: write the ule-sweep/v1 JSON document to this file (- for stdout)")
+		jsonOut  = fs.String("json", "", "sweep mode: write the ule-sweep/v2 JSON document to this file (- for stdout)")
 		csvOut   = fs.String("csv-out", "", "sweep mode: write per-trial CSV to this file (- for stdout)")
+		mode     = fs.String("mode", "", "sweep mode: override the spec's modes axis (comma-separated: congest,local,async)")
+		delays   = fs.String("delays", "", "sweep mode: override the spec's async delay axis (comma-separated: unit,random:B,fifo:B)")
 		progress = fs.Bool("progress", true, "sweep mode: report progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sweep != "" {
-		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *progress)
+		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *progress)
 	}
 	d := &driver{quick: *quick, seed: *seed, trials: 10, csv: *csv, workers: *workers}
 	if *quick {
@@ -99,6 +108,7 @@ func run(args []string) error {
 		{"E13", d.e13Cluster, "Thm 4.7: msgs/(m+n log n) bounded; time O(D log n)"},
 		{"E14", d.e14Kingdom, "Thm 4.10: deterministic, msgs/(m log n) and rounds/(D log n) bounded"},
 		{"E15", d.e15Table1, "Table 1 head-to-head on a common graph"},
+		{"E16", d.e16Async, "asynchronous model: success and cost under the unit / bounded-random / FIFO-per-link delay adversaries"},
 	}
 	for _, e := range exps {
 		if *only != "" && e.id != *only {
@@ -118,7 +128,7 @@ func run(args []string) error {
 }
 
 // runSweep executes one declarative sweep spec through the harness.
-func runSweep(specArg string, workers int, jsonOut, csvOut string, progress bool) error {
+func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride string, progress bool) error {
 	var spec harness.Spec
 	switch specArg {
 	case "builtin:smoke":
@@ -131,6 +141,12 @@ func runSweep(specArg string, workers int, jsonOut, csvOut string, progress bool
 		if err := json.Unmarshal(data, &spec); err != nil {
 			return fmt.Errorf("sweep spec %s: %w", specArg, err)
 		}
+	}
+	if modeOverride != "" {
+		spec.Modes = strings.Split(modeOverride, ",")
+	}
+	if delaysOverride != "" {
+		spec.Delays = strings.Split(delaysOverride, ",")
 	}
 	rc := harness.RunConfig{Workers: workers}
 	// Close errors must fail the sweep: the final buffered write can
@@ -200,9 +216,13 @@ func runSweep(specArg string, workers int, jsonOut, csvOut string, progress bool
 	// a document already going there.
 	if jsonOut != "-" && csvOut != "-" {
 		t := stats.NewTable(fmt.Sprintf("sweep %s", spec.Name),
-			"algo", "graph", "mode", "wake", "n", "m", "trials", "msgs mean", "rounds mean", "success", "errors")
+			"algo", "graph", "mode", "wake", "delay", "n", "m", "trials", "msgs mean", "rounds mean", "success", "errors")
 		for _, g := range rep.Groups {
-			t.AddRow(g.Algo, g.Graph, g.Mode, g.Wake, g.N, g.M, g.Trials,
+			delay := g.Delay
+			if delay == "" {
+				delay = "-"
+			}
+			t.AddRow(g.Algo, g.Graph, g.Mode, g.Wake, delay, g.N, g.M, g.Trials,
 				g.Messages.Mean, g.Rounds.Mean, g.Success, g.Errors)
 		}
 		fmt.Print(t.String())
@@ -619,6 +639,46 @@ func (d *driver) e15Table1() (*stats.Table, error) {
 		grp := rep.Group(algo, gs, "congest", "sync")
 		t.AddRow(algo, cspec.Result, grp.Messages.Mean,
 			grp.Messages.Mean/float64(grp.M), grp.Rounds.Mean, grp.Success)
+	}
+	return t, nil
+}
+
+// e16: the asynchronous scenario axis. Message-driven algorithms keep
+// electing under every delay adversary; protocols that count silent
+// rounds (flood's D-round wait, dfs budgets, lasvegas epochs) stall and
+// quiesce undecided — exactly the synchronous/asynchronous split the
+// paper's model section draws.
+func (d *driver) e16Async() (*stats.Table, error) {
+	t := stats.NewTable("E16 — asynchronous model: sync vs delay adversaries",
+		"algo", "delay", "msgs mean", "ticks mean", "success")
+	n := 128
+	if d.quick {
+		n = 48
+	}
+	gs := fmt.Sprintf("random:%d:%d", n, 4*n)
+	delays := []string{"unit", "random:8", "fifo:8"}
+	spec := harness.Spec{
+		Name:     "e16-async",
+		Algos:    core.Names(),
+		Graphs:   []string{gs},
+		Modes:    []string{"congest", "async"},
+		Delays:   delays,
+		SmallIDs: true,
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, algo := range spec.Algos {
+		sync := rep.Group(algo, gs, "congest", "sync")
+		t.AddRow(algo, "sync", sync.Messages.Mean, sync.Rounds.Mean, sync.Success)
+		for _, delay := range delays {
+			grp := rep.Group(algo, gs, "async", "sync", delay)
+			if grp == nil {
+				return nil, fmt.Errorf("missing async group %s/%s", algo, delay)
+			}
+			t.AddRow(algo, delay, grp.Messages.Mean, grp.Rounds.Mean, grp.Success)
+		}
 	}
 	return t, nil
 }

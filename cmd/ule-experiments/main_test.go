@@ -54,3 +54,40 @@ func TestBuiltinSmokeSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSweepModeAsyncOverride(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	jsonPath := filepath.Join(dir, "out.json")
+	spec := `{"name":"cli-async","algos":["leastel"],"graphs":["ring:12"],"trials":2,"seed":5}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", specPath, "-mode", "async", "-delays", "unit,random:4,fifo:4",
+		"-json", jsonPath, "-progress=false"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := harness.ParseDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2; doc.TotalTrials != want {
+		t.Fatalf("override sweep ran %d trials, want %d", doc.TotalTrials, want)
+	}
+	seen := map[string]bool{}
+	for _, tr := range doc.Trials {
+		if tr.Mode != "async" {
+			t.Fatalf("trial %d mode %q, want async", tr.Index, tr.Mode)
+		}
+		seen[tr.Delay] = true
+	}
+	for _, d := range []string{"unit", "random:4", "fifo:4"} {
+		if !seen[d] {
+			t.Errorf("delay model %q missing from trials", d)
+		}
+	}
+}

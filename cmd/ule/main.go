@@ -4,11 +4,15 @@
 // Usage:
 //
 //	ule -graph ring:64 -algo leastel -trials 5 -seed 1
+//	ule -graph ring:64 -algo leastel -mode async -delay random:8
 //	ule -list
 //
 // Graph specs: path:N ring:N star:N complete:N grid:RxC torus:RxC
 // bipartite:AxB hypercube:DIM random:N:M regular:N:D caterpillar:SPINE:LEGS
 // lollipop:N:M dumbbell:N:M cliquecycle:N:D
+//
+// Modes: congest (default), local, async. In async mode -delay selects the
+// message-delay schedule (unit, random:B, fifo:B).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"ule/election"
 	"ule/internal/graph"
+	"ule/internal/sim"
 	"ule/internal/stats"
 )
 
@@ -35,7 +40,9 @@ func run(args []string) error {
 		algo      = fs.String("algo", "leastel", "algorithm name (see -list)")
 		trials    = fs.Int("trials", 1, "independent trials (fresh IDs/coins)")
 		seed      = fs.Int64("seed", 1, "base seed")
-		local     = fs.Bool("local", false, "LOCAL model instead of CONGEST")
+		mode      = fs.String("mode", "congest", "execution model: congest, local, async")
+		delay     = fs.String("delay", "", "async delay schedule: unit, random:B, fifo:B")
+		local     = fs.Bool("local", false, "LOCAL model instead of CONGEST (alias for -mode local)")
 		anonymous = fs.Bool("anonymous", false, "run without node identifiers")
 		smallIDs  = fs.Bool("small-ids", false, "permutation IDs 1..n (needed for dfs)")
 		maxRounds = fs.Int("max-rounds", 1<<18, "round cap")
@@ -51,11 +58,26 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	m, err := sim.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	if *local {
+		m = sim.LOCAL
+	}
 	g, err := buildGraph(*graphSpec, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph %s: n=%d m=%d\n", *graphSpec, g.N(), g.M())
+	if m == sim.ASYNC {
+		ds := *delay
+		if ds == "" {
+			ds = "unit"
+		}
+		fmt.Printf("graph %s: n=%d m=%d  (async, delay %s)\n", *graphSpec, g.N(), g.M(), ds)
+	} else {
+		fmt.Printf("graph %s: n=%d m=%d\n", *graphSpec, g.N(), g.M())
+	}
 	table := stats.NewTable("", "trial", "rounds", "messages", "bits", "leaders", "unique")
 	var msgs, rounds []float64
 	for i := 0; i < *trials; i++ {
@@ -66,7 +88,8 @@ func run(args []string) error {
 		}
 		res, err := election.Elect(g, *algo, election.Params{
 			Seed: s, IDs: ids, Anonymous: *anonymous,
-			Local: *local, MaxRounds: *maxRounds,
+			Local: m == sim.LOCAL, Async: m == sim.ASYNC, Delay: *delay,
+			MaxRounds: *maxRounds,
 		})
 		if err != nil {
 			return err

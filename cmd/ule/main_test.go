@@ -56,7 +56,16 @@ func TestRunListAndElection(t *testing.T) {
 	if err := run([]string{"-graph", "ring:16", "-algo", "leastel", "-trials", "2"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-graph", "ring:16", "-algo", "leastel", "-mode", "async", "-delay", "random:4"}); err != nil {
+		t.Fatal(err)
+	}
 	if err := run([]string{"-algo", "no-such"}); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-mode", "quantum"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "async", "-delay", "gauss:2"}); err == nil {
+		t.Error("unknown delay schedule accepted")
 	}
 }

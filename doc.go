@@ -1,13 +1,17 @@
 // Package ule is a from-scratch Go reproduction of "On the Complexity of
 // Universal Leader Election" (Kutten, Pandurangan, Peleg, Robinson, Trehan;
-// PODC 2013 / JACM 62(1), 2015): a synchronous CONGEST/LOCAL network
-// simulator, every algorithm of the paper's Table 1, both lower-bound graph
-// constructions, and benchmark harnesses that regenerate each claimed
-// complexity shape.
+// PODC 2013 / JACM 62(1), 2015): an event-driven network simulator covering
+// the synchronous CONGEST/LOCAL models and the asynchronous model under
+// deterministic delay adversaries, every algorithm of the paper's Table 1,
+// both lower-bound graph constructions, and benchmark harnesses that
+// regenerate each claimed complexity shape.
 //
-// Start with the public API in ule/election; the per-experiment benchmarks
-// live in bench_test.go at this root. Experiment sweeps — many (algorithm,
-// graph, seed, mode, wake schedule) configurations executed in parallel
-// with machine-readable JSON/CSV output — run through ule/internal/harness
-// (see docs/SWEEP_SCHEMA.md and cmd/ule-experiments -sweep).
+// Start with the public API in ule/election (its godoc carries runnable
+// examples); the per-experiment benchmarks live in bench_test.go at this
+// root. Experiment sweeps — many (algorithm, graph, seed, mode, wake
+// schedule, delay schedule) configurations executed in parallel with
+// machine-readable JSON/CSV output — run through ule/internal/harness (see
+// docs/SWEEP_SCHEMA.md and cmd/ule-experiments -sweep). docs/ARCHITECTURE.md
+// maps the packages and the event-driven engine; docs/PAPER_MAP.md maps the
+// paper's results onto the code.
 package ule

@@ -3,18 +3,22 @@
 // Election" (Kutten, Pandurangan, Peleg, Robinson, Trehan; PODC 2013 /
 // JACM 2015).
 //
-// It exposes the synchronous CONGEST/LOCAL network simulator, the paper's
-// graph families (including the dumbbell and clique-cycle lower-bound
-// constructions), and every algorithm of Table 1 behind a string registry:
+// It exposes the event-driven network simulator — the synchronous
+// CONGEST/LOCAL models and the asynchronous model with deterministic
+// delay adversaries — the paper's graph families (including the dumbbell
+// and clique-cycle lower-bound constructions), and every algorithm of
+// Table 1 behind a string registry:
 //
 //	g := election.Ring(64)
 //	res, err := election.Elect(g, "leastel", election.Params{Seed: 1})
 //	if res.UniqueLeader() { ... }
 //
-// Use Algorithms to list the registry and Describe for the paper result
-// each name realizes. Custom protocols can be written against the
-// simulator types re-exported here (Protocol, Process, Context) and run
-// with Run.
+// Asynchronous runs set Params.Async (and optionally a Delay schedule);
+// the same seed always reproduces the same transcript. Use Algorithms to
+// list the registry and Describe for the paper result each name
+// realizes. Custom protocols can be written against the simulator types
+// re-exported here (Protocol, Process, Context) and run with Run; see
+// the runnable examples.
 package election
 
 import (
@@ -59,10 +63,28 @@ const (
 	NonLeader = sim.NonLeader
 )
 
-// Communication models.
+// Execution models: the synchronous CONGEST/LOCAL round models and the
+// event-driven asynchronous model.
 const (
 	CONGEST = sim.CONGEST
 	LOCAL   = sim.LOCAL
+	ASYNC   = sim.ASYNC
+)
+
+// DelaySchedule is the asynchronous adversary: a deterministic per-message
+// latency assignment used in ASYNC mode.
+type DelaySchedule = sim.DelaySchedule
+
+// Asynchronous delay schedules (ASYNC mode).
+var (
+	// UnitDelay delivers every message after exactly one tick.
+	UnitDelay = sim.UnitDelay
+	// RandomDelay draws each message's latency from [1, bound] (non-FIFO).
+	RandomDelay = sim.RandomDelay
+	// FIFODelay fixes a latency in [1, bound] per directed link (FIFO).
+	FIFODelay = sim.FIFODelay
+	// ParseDelay resolves "unit", "random:B" or "fifo:B" spec strings.
+	ParseDelay = sim.ParseDelay
 )
 
 // WakeOnMessage marks a node that sleeps until the first message arrives.
@@ -114,6 +136,12 @@ type Params struct {
 	MaxRounds int
 	// Local switches to the LOCAL model (unbounded messages).
 	Local bool
+	// Async switches to the event-driven asynchronous model (takes
+	// precedence over Local).
+	Async bool
+	// Delay is the ASYNC message-delay schedule spec: "unit" (default),
+	// "random:B", or "fifo:B".
+	Delay string
 	// Parallel uses the multi-core engine.
 	Parallel bool
 	// Wake is the wake-up schedule (nil = simultaneous round 1).
@@ -125,7 +153,10 @@ type Params struct {
 // Elect runs the named algorithm (see Algorithms) on g.
 func Elect(g *Graph, algorithm string, p Params) (*Result, error) {
 	mode := sim.CONGEST
-	if p.Local {
+	switch {
+	case p.Async:
+		mode = sim.ASYNC
+	case p.Local:
 		mode = sim.LOCAL
 	}
 	return core.Run(g, algorithm, core.RunOpts{
@@ -135,6 +166,7 @@ func Elect(g *Graph, algorithm string, p Params) (*Result, error) {
 		D:         p.D,
 		MaxRounds: p.MaxRounds,
 		Mode:      mode,
+		Delay:     p.Delay,
 		Parallel:  p.Parallel,
 		Wake:      p.Wake,
 		Opt:       p.Opt,

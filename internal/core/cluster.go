@@ -209,7 +209,17 @@ func (p *clusterProc) maybeFinishPhase1(c *sim.Context) {
 	if !p.joined || p.awaiting > 0 {
 		return
 	}
-	for port, cl := range p.nbrCluster {
+	// Ascending port order: a foreign cluster reachable through several
+	// ports must be recorded through the same (lowest) port on every run,
+	// or the retained edge — and with it the whole transcript — would
+	// depend on map iteration order.
+	ports := make([]int, 0, len(p.nbrCluster))
+	for port := range p.nbrCluster {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
+		cl := p.nbrCluster[port]
 		if cl == p.cluster {
 			continue
 		}

@@ -23,8 +23,15 @@ type RunOpts struct {
 	D int
 	// MaxRounds bounds the run (0 = engine default).
 	MaxRounds int
-	// Mode selects CONGEST (default) or LOCAL.
+	// Mode selects CONGEST (default), LOCAL, or the event-driven ASYNC
+	// model.
 	Mode sim.Mode
+	// Delay is the ASYNC message-delay schedule spec ("unit", "random:B",
+	// "fifo:B"); empty means unit delays. Only valid with Mode ASYNC.
+	Delay string
+	// DenseLoop selects the legacy dense per-round engine (synchronous
+	// modes only; used by differential tests and engine benchmarks).
+	DenseLoop bool
 	// Parallel selects the goroutine runner.
 	Parallel bool
 	// Wake is the wake-up schedule (nil = simultaneous).
@@ -68,6 +75,16 @@ func (ro RunOpts) config(g *graph.Graph, spec Spec) (sim.Config, sim.Protocol, e
 		WatchEdges:    ro.WatchEdges,
 		CountPerEdge:  ro.CountPerEdge,
 		Parallel:      ro.Parallel,
+		DenseLoop:     ro.DenseLoop,
+	}
+	if ro.Delay != "" || ro.Mode == sim.ASYNC {
+		ds, err := sim.ParseDelay(ro.Delay)
+		if err != nil {
+			return sim.Config{}, nil, err
+		}
+		// A non-empty Delay outside ASYNC mode is passed through so the
+		// engine rejects the misconfiguration.
+		cfg.Delay = ds
 	}
 	return cfg, spec.New(ro.Opt), nil
 }

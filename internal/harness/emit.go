@@ -9,8 +9,13 @@ import (
 )
 
 // SchemaVersion identifies the JSON document layout emitted by
-// NewJSONEmitter; see docs/SWEEP_SCHEMA.md.
-const SchemaVersion = "ule-sweep/v1"
+// NewJSONEmitter; see docs/SWEEP_SCHEMA.md. v2 added the async delay
+// axis: a "delays" spec field and per-trial/per-group "delay_model".
+const SchemaVersion = "ule-sweep/v2"
+
+// legacySchemaV1 is the pre-async document layout; ParseDocument still
+// accepts it (its records simply carry no delay_model).
+const legacySchemaV1 = "ule-sweep/v1"
 
 // Emitter receives the sweep stream: Begin once, Trial once per trial in
 // trial-index order, End once with the final report. Emitters are called
@@ -76,7 +81,7 @@ func (e *jsonEmitter) End(rep *Report) error {
 
 // csvHeader is the column layout of the CSV emitter.
 var csvHeader = []string{
-	"trial", "algo", "graph", "mode", "wake", "rep", "seed",
+	"trial", "algo", "graph", "mode", "wake", "delay_model", "rep", "seed",
 	"n", "m", "d", "rounds", "last_active", "messages", "bits",
 	"leaders", "unique", "halted", "hit_round_cap", "err",
 }
@@ -98,7 +103,7 @@ func (e *csvEmitter) Begin(Spec, int) error {
 
 func (e *csvEmitter) Trial(tr TrialResult) error {
 	return writeCSVRow(e.w, []string{
-		strconv.Itoa(tr.Index), tr.Algo, tr.Graph, tr.Mode, tr.Wake,
+		strconv.Itoa(tr.Index), tr.Algo, tr.Graph, tr.Mode, tr.Wake, tr.Delay,
 		strconv.Itoa(tr.Rep), strconv.FormatInt(tr.Seed, 10),
 		strconv.Itoa(tr.N), strconv.Itoa(tr.M), strconv.Itoa(tr.D),
 		strconv.Itoa(tr.Rounds), strconv.Itoa(tr.LastActive),
@@ -135,8 +140,8 @@ func csvEscape(s string) string {
 	return strconv.Quote(s)
 }
 
-// Document is the parsed form of a ule-sweep/v1 JSON file; tests and
-// downstream tooling use it to consume sweep output.
+// Document is the parsed form of a ule-sweep/v2 (or legacy v1) JSON file;
+// tests and downstream tooling use it to consume sweep output.
 type Document struct {
 	Schema      string        `json:"schema"`
 	Spec        Spec          `json:"spec"`
@@ -146,13 +151,15 @@ type Document struct {
 	Errors      int           `json:"errors"`
 }
 
-// ParseDocument decodes and validates a ule-sweep/v1 document.
+// ParseDocument decodes and validates a ule-sweep/v2 document. Legacy
+// ule-sweep/v1 documents are also accepted: their trials and groups
+// predate the async delay axis and parse with an empty delay_model.
 func ParseDocument(data []byte) (*Document, error) {
 	var doc Document
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("harness: invalid sweep document: %w", err)
 	}
-	if doc.Schema != SchemaVersion {
+	if doc.Schema != SchemaVersion && doc.Schema != legacySchemaV1 {
 		return nil, fmt.Errorf("harness: unknown schema %q (want %q)", doc.Schema, SchemaVersion)
 	}
 	if len(doc.Trials) != doc.TotalTrials {

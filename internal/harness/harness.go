@@ -44,13 +44,14 @@ type TrialResult struct {
 	elapsed time.Duration
 }
 
-// GroupStats aggregates every repetition of one (algo, graph, mode, wake)
-// cell.
+// GroupStats aggregates every repetition of one (algo, graph, mode, wake,
+// delay) cell. Delay is empty for synchronous cells.
 type GroupStats struct {
 	Algo   string `json:"algo"`
 	Graph  string `json:"graph"`
 	Mode   string `json:"mode"`
 	Wake   string `json:"wake"`
+	Delay  string `json:"delay_model,omitempty"`
 	N      int    `json:"n"`
 	M      int    `json:"m"`
 	D      int    `json:"d,omitempty"`
@@ -86,11 +87,15 @@ type Report struct {
 // memoized exact diameter) use these instances instead of rebuilding.
 func (r *Report) Graphs() []*graph.Graph { return r.graphs }
 
-// Group returns the aggregate for one cell, or nil if absent.
-func (r *Report) Group(algo, graphSpec, mode, wake string) *GroupStats {
+// Group returns the aggregate for one cell, or nil if absent. The
+// optional trailing argument selects a delay model; without it the first
+// cell matching (algo, graph, mode, wake) is returned, which is unique
+// for synchronous cells and for async sweeps with a single delay model.
+func (r *Report) Group(algo, graphSpec, mode, wake string, delay ...string) *GroupStats {
 	for i := range r.Groups {
 		g := &r.Groups[i]
-		if g.Algo == algo && g.Graph == graphSpec && g.Mode == mode && g.Wake == wake {
+		if g.Algo == algo && g.Graph == graphSpec && g.Mode == mode && g.Wake == wake &&
+			(len(delay) == 0 || g.Delay == delay[0]) {
 			return g
 		}
 	}
@@ -111,7 +116,7 @@ type RunConfig struct {
 
 // groupAcc accumulates one cell online; only scalar samples are retained.
 type groupAcc struct {
-	key              [4]string
+	key              [5]string
 	n, m, d          int
 	trials, errors   int
 	unique           int
@@ -164,7 +169,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 		nextEmit int
 		done     int
 		groups   []*groupAcc
-		byKey    = make(map[[4]string]*groupAcc)
+		byKey    = make(map[[5]string]*groupAcc)
 		emitErr  error
 	)
 	for tr := range results {
@@ -189,7 +194,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 					}
 				}
 			}
-			key := [4]string{next.Algo, next.Graph, next.Mode, next.Wake}
+			key := [5]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay}
 			acc, ok := byKey[key]
 			if !ok {
 				acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
@@ -224,7 +229,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 	// in deterministic expansion (graph-major) order.
 	for _, acc := range groups {
 		gs := GroupStats{
-			Algo: acc.key[0], Graph: acc.key[1], Mode: acc.key[2], Wake: acc.key[3],
+			Algo: acc.key[0], Graph: acc.key[1], Mode: acc.key[2], Wake: acc.key[3], Delay: acc.key[4],
 			N: acc.n, M: acc.m, D: acc.d,
 			Trials:   acc.trials,
 			Errors:   acc.errors,
@@ -285,6 +290,7 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, tr Trial
 		IDs:       ids,
 		MaxRounds: p.spec.MaxRounds,
 		Mode:      t.mode,
+		Delay:     t.Delay,
 		Wake:      wakeSchedule(t.Wake, g.N(), t.Seed),
 		Opt:       p.spec.Opt,
 	}
@@ -310,7 +316,9 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, tr Trial
 }
 
 // Smoke is a small built-in sweep used by `make sweep-smoke` and the CI
-// pipeline: every registered algorithm on two graph families.
+// pipeline: every registered algorithm on two graph families, in the
+// synchronous model and in the asynchronous model under all three
+// built-in delay schedules.
 func Smoke() Spec {
 	return Spec{
 		Name:     "smoke",
@@ -318,6 +326,8 @@ func Smoke() Spec {
 		Graphs:   []string{"ring:16", "random:24:60"},
 		Trials:   2,
 		Seed:     1,
+		Modes:    []string{"congest", "async"},
+		Delays:   []string{"unit", "random:4", "fifo:4"},
 		SmallIDs: true,
 	}
 }

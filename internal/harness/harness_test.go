@@ -286,3 +286,102 @@ func TestParallelSpeedup(t *testing.T) {
 		t.Errorf("speedup %.2fx < 2x (seq %v, par %v)", speedup, seqElapsed, parElapsed)
 	}
 }
+
+// asyncSpec is the wake × delay coverage matrix: both execution models,
+// three wake schedules, three delay schedules.
+func asyncSpec() Spec {
+	return Spec{
+		Name:   "async-matrix",
+		Algos:  []string{"leastel", "leastel-const", "kingdom", "cluster"},
+		Graphs: []string{"ring:24", "random:32:96"},
+		Modes:  []string{"congest", "async"},
+		Wakes:  []string{"sync", "stagger:3", "adversarial"},
+		Delays: []string{"unit", "random:4", "fifo:4"},
+		Trials: 2,
+		Seed:   7,
+	}
+}
+
+func TestAsyncSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := asyncSpec()
+	// congest cells collapse the delay axis: (1 + 3) mode-delay cells.
+	if want := 4 * 2 * (1 + 3) * 3 * 2; spec.NumTrials() != want {
+		t.Fatalf("matrix has %d trials, want %d", spec.NumTrials(), want)
+	}
+	seqJSON, seqRep := runToJSON(t, spec, 1)
+	parJSON, parRep := runToJSON(t, spec, 8)
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatalf("async sweep output differs between 1 and 8 workers (%d vs %d bytes)",
+			len(seqJSON), len(parJSON))
+	}
+	if seqRep.Errors != 0 || parRep.Errors != 0 {
+		t.Fatalf("async sweep reported trial errors: %d/%d", seqRep.Errors, parRep.Errors)
+	}
+	doc, err := ParseDocument(seqJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range doc.Trials {
+		switch tr.Mode {
+		case "async":
+			if tr.Delay == "" {
+				t.Fatalf("async trial %d missing delay_model", tr.Index)
+			}
+		default:
+			if tr.Delay != "" {
+				t.Fatalf("sync trial %d carries delay_model %q", tr.Index, tr.Delay)
+			}
+		}
+	}
+}
+
+// TestAsyncUnitReproducesSync: for oblivious (message-driven) algorithms,
+// the async/unit cells must reproduce the synchronous cells exactly —
+// same message totals, rounds and success, trial by trial.
+func TestAsyncUnitReproducesSync(t *testing.T) {
+	// cluster is deliberately absent: its BFS phases wait out silent
+	// rounds on some topologies, so it is only oblivious by accident.
+	spec := Spec{
+		Name:   "async-vs-sync",
+		Algos:  []string{"leastel", "leastel-const", "kingdom"},
+		Graphs: []string{"ring:24", "random:32:96"},
+		Modes:  []string{"congest", "async"},
+		Delays: []string{"unit"},
+		Trials: 3,
+		Seed:   11,
+	}
+	data, _ := runToJSON(t, spec, 4)
+	doc, err := ParseDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct {
+		algo, graph string
+		rep         int
+	}
+	sync := make(map[cell]TrialResult)
+	for _, tr := range doc.Trials {
+		if tr.Mode == "congest" {
+			sync[cell{tr.Algo, tr.Graph, tr.Rep}] = tr
+		}
+	}
+	checked := 0
+	for _, tr := range doc.Trials {
+		if tr.Mode != "async" {
+			continue
+		}
+		s, ok := sync[cell{tr.Algo, tr.Graph, tr.Rep}]
+		if !ok {
+			t.Fatalf("no sync twin for trial %d", tr.Index)
+		}
+		if tr.Messages != s.Messages || tr.Bits != s.Bits || tr.LastActive != s.LastActive ||
+			tr.Leaders != s.Leaders || tr.Unique != s.Unique {
+			t.Errorf("%s/%s rep %d: async/unit diverges from sync:\nsync:  %+v\nasync: %+v",
+				tr.Algo, tr.Graph, tr.Rep, s, tr)
+		}
+		checked++
+	}
+	if checked != spec.NumTrials()/2 {
+		t.Fatalf("compared %d pairs, want %d", checked, spec.NumTrials()/2)
+	}
+}

@@ -1,8 +1,9 @@
 // Package harness is the parallel experiment-sweep engine: it expands a
 // declarative sweep specification (algorithm set × graph family × modes ×
-// wake schedules × repetitions) into deterministic trials, executes them
-// on a work-stealing goroutine pool, and streams the results through
-// JSON/CSV emitters and an online aggregator.
+// wake schedules × async delay schedules × repetitions) into
+// deterministic trials, executes them on a work-stealing goroutine pool,
+// and streams the results through JSON/CSV emitters and an online
+// aggregator.
 //
 // Determinism: every trial's randomness derives from (Spec.Seed, rep), so
 // the r-th repetition of every (algorithm, graph, mode, wake) cell sees
@@ -42,12 +43,17 @@ type Spec struct {
 	Trials int `json:"trials,omitempty"`
 	// Seed derives all per-trial randomness (default 1).
 	Seed int64 `json:"seed,omitempty"`
-	// Modes lists communication models: "congest", "local" (default
+	// Modes lists execution models: "congest", "local", "async" (default
 	// ["congest"]).
 	Modes []string `json:"modes,omitempty"`
 	// Wakes lists wake schedules: "sync", "random:R", "stagger:K",
 	// "adversarial" (default ["sync"]).
 	Wakes []string `json:"wakes,omitempty"`
+	// Delays lists asynchronous message-delay schedules: "unit",
+	// "random:B", "fifo:B" (default ["unit"]). The axis applies to
+	// "async"-mode cells only; synchronous cells ignore it rather than
+	// multiplying.
+	Delays []string `json:"delays,omitempty"`
 	// MaxRounds bounds each run (default 1 << 18).
 	MaxRounds int `json:"max_rounds,omitempty"`
 	// SmallIDs assigns permutation IDs 1..n instead of random 64-bit IDs
@@ -58,15 +64,17 @@ type Spec struct {
 	Opt core.Options `json:"opt,omitempty"`
 }
 
-// Trial identifies one expanded (algorithm, graph, mode, wake, rep) cell
-// repetition. Index is the position in expansion order; Seed is the
-// trial's deterministic root seed.
+// Trial identifies one expanded (algorithm, graph, mode, wake, delay)
+// cell repetition. Index is the position in expansion order; Seed is the
+// trial's deterministic root seed. Delay is the async delay-model spec
+// ("" for synchronous cells).
 type Trial struct {
 	Index int    `json:"trial"`
 	Algo  string `json:"algo"`
 	Graph string `json:"graph"`
 	Mode  string `json:"mode"`
 	Wake  string `json:"wake"`
+	Delay string `json:"delay_model,omitempty"`
 	Rep   int    `json:"rep"`
 	Seed  int64  `json:"seed"`
 
@@ -93,14 +101,11 @@ type plan struct {
 }
 
 func parseMode(s string) (sim.Mode, error) {
-	switch strings.ToLower(s) {
-	case "", "congest":
-		return sim.CONGEST, nil
-	case "local":
-		return sim.LOCAL, nil
-	default:
-		return 0, fmt.Errorf("harness: unknown mode %q (want congest or local)", s)
+	mode, err := sim.ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("harness: %w", err)
 	}
+	return mode, nil
 }
 
 // parseWake validates a wake-schedule spec. Schedules:
@@ -182,7 +187,21 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Wakes) == 0 {
 		s.Wakes = []string{"sync"}
 	}
+	if len(s.Delays) == 0 {
+		s.Delays = []string{"unit"}
+	}
 	return s
+}
+
+// cellDelays returns the delay-model axis of one mode cell: the spec's
+// Delays for async cells, and the single empty entry (no delay model) for
+// synchronous cells, which would otherwise be multiplied by an axis that
+// cannot affect them.
+func (s Spec) cellDelays(mode sim.Mode) []string {
+	if mode == sim.ASYNC {
+		return s.Delays
+	}
+	return []string{""}
 }
 
 // BuildGraphs instantiates the spec's graph axis exactly as Run does
@@ -230,6 +249,11 @@ func (s Spec) compile() (*plan, error) {
 			return nil, err
 		}
 	}
+	for _, d := range s.Delays {
+		if _, err := sim.ParseDelay(d); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
 	graphs, err := s.BuildGraphs()
 	if err != nil {
 		return nil, err
@@ -239,18 +263,21 @@ func (s Spec) compile() (*plan, error) {
 		for _, algo := range s.Algos {
 			for mi, mode := range s.Modes {
 				for _, wake := range s.Wakes {
-					for rep := 0; rep < s.Trials; rep++ {
-						p.trials = append(p.trials, Trial{
-							Index:    len(p.trials),
-							Algo:     algo,
-							Graph:    gs,
-							Mode:     strings.ToLower(mode),
-							Wake:     wake,
-							Rep:      rep,
-							Seed:     TrialSeed(s.Seed, rep),
-							graphIdx: gi,
-							mode:     modes[mi],
-						})
+					for _, delay := range s.cellDelays(modes[mi]) {
+						for rep := 0; rep < s.Trials; rep++ {
+							p.trials = append(p.trials, Trial{
+								Index:    len(p.trials),
+								Algo:     algo,
+								Graph:    gs,
+								Mode:     strings.ToLower(mode),
+								Wake:     wake,
+								Delay:    delay,
+								Rep:      rep,
+								Seed:     TrialSeed(s.Seed, rep),
+								graphIdx: gi,
+								mode:     modes[mi],
+							})
+						}
 					}
 				}
 			}
@@ -262,15 +289,14 @@ func (s Spec) compile() (*plan, error) {
 // NumTrials returns the number of trials the spec expands to, without
 // instantiating graphs.
 func (s Spec) NumTrials() int {
-	trials, modes, wakes := s.Trials, len(s.Modes), len(s.Wakes)
-	if trials <= 0 {
-		trials = 1
+	s = s.withDefaults()
+	cells := 0
+	for _, m := range s.Modes {
+		if mode, err := sim.ParseMode(m); err == nil {
+			cells += len(s.cellDelays(mode))
+		} else {
+			cells++ // invalid mode: count one cell; compile will reject it
+		}
 	}
-	if modes == 0 {
-		modes = 1
-	}
-	if wakes == 0 {
-		wakes = 1
-	}
-	return len(s.Algos) * len(s.Graphs) * modes * wakes * trials
+	return len(s.Algos) * len(s.Graphs) * len(s.Wakes) * cells * s.Trials
 }

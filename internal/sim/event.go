@@ -1,0 +1,535 @@
+// Event-driven scheduler: the default execution engine for all modes.
+//
+// Instead of scanning every node in every round (the legacy dense loop,
+// kept in run.go behind Config.DenseLoop), the engine keeps a pending-event
+// queue of message deliveries and timer wake-ups, bucketed by virtual-time
+// tick, and steps only the nodes an event touches. Sleeping and halted
+// nodes cost zero work per tick, which is what makes sparse-activity
+// workloads (adversarial wake-up, late quiet phases) cheap; quiescence
+// detection is O(1) per tick via counters instead of O(n) scans.
+//
+// In the synchronous modes (CONGEST/LOCAL) every awake node carries an
+// implicit per-round timer — protocols may count rounds while silent — so
+// the observable behaviour is identical to the dense loop; the savings
+// come from never touching sleeping or halted nodes and from skipping
+// empty rounds outright. In ASYNC mode there are no implicit timers:
+// computation is driven purely by deliveries, schedule wake-ups and
+// explicit Context.RequestWake timers, and each delivery's latency is
+// drawn from the run's deterministic DelaySchedule.
+package sim
+
+import "sort"
+
+// delivery is one scheduled message arrival.
+type delivery struct {
+	to   int // receiving node
+	port int // receiving port
+	pl   Payload
+}
+
+// tickBucket holds every event scheduled for one tick: message arrivals,
+// spontaneous wake-ups from the wake schedule, and RequestWake timers
+// (kept apart because a scheduled wake-up for a node that was meanwhile
+// woken by a message is dead, while a timer steps its — awake — node in
+// ASYNC mode). wakeAll is the common "everyone wakes in round 1"
+// schedule, kept implicit to avoid materializing an n-element slice per
+// run.
+type tickBucket struct {
+	deliveries []delivery
+	wakes      []int
+	timers     []int
+	wakeAll    bool
+}
+
+func (b *tickBucket) clear() {
+	b.deliveries = b.deliveries[:0]
+	b.wakes = b.wakes[:0]
+	b.timers = b.timers[:0]
+	b.wakeAll = false
+}
+
+// evScratch is the reusable event-engine state owned by a Runner.
+type evScratch struct {
+	buckets map[int]*tickBucket
+	heap    []int // min-heap of ticks with a live bucket
+	free    []*tickBucket
+
+	active   []int // sorted awake node ids (synchronous modes)
+	stepSet  []int
+	recv     []int // nodes that received a delivery this tick
+	wake     []int // wake candidates this tick
+	mergeBuf []int
+
+	linkSeq     [][]int // per (node, port) message sequence numbers (ASYNC)
+	wakeAt      []int   // per-node pending RequestWake target tick (0 = none)
+	haltCounted []bool  // per-node: halt already merged into the counters
+}
+
+func newEvScratch(n int, degree func(int) int) *evScratch {
+	sc := &evScratch{
+		buckets:     make(map[int]*tickBucket),
+		linkSeq:     make([][]int, n),
+		wakeAt:      make([]int, n),
+		haltCounted: make([]bool, n),
+	}
+	for u := 0; u < n; u++ {
+		sc.linkSeq[u] = make([]int, degree(u))
+	}
+	return sc
+}
+
+// reset clears every per-run field; per-node rows (linkSeq, wakeAt,
+// haltCounted) are cleared by the Runner's per-node reset loop.
+func (sc *evScratch) reset() {
+	for t, b := range sc.buckets {
+		b.clear()
+		sc.free = append(sc.free, b)
+		delete(sc.buckets, t)
+	}
+	sc.heap = sc.heap[:0]
+	sc.active = sc.active[:0]
+	sc.stepSet = sc.stepSet[:0]
+	sc.recv = sc.recv[:0]
+	sc.wake = sc.wake[:0]
+}
+
+// bucketAt returns (creating if needed) the event bucket of tick t.
+func (e *engine) bucketAt(t int) *tickBucket {
+	sc := e.ev
+	if b, ok := sc.buckets[t]; ok {
+		return b
+	}
+	var b *tickBucket
+	if k := len(sc.free); k > 0 {
+		b, sc.free = sc.free[k-1], sc.free[:k-1]
+	} else {
+		b = &tickBucket{}
+	}
+	sc.buckets[t] = b
+	e.heapPush(t)
+	return b
+}
+
+func (e *engine) heapPush(t int) {
+	h := append(e.ev.heap, t)
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	e.ev.heap = h
+}
+
+// heapPopMin removes the minimum tick (callers only pop the tick they are
+// about to process).
+func (e *engine) heapPopMin() {
+	h := e.ev.heap
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h[l] < h[small] {
+			small = l
+		}
+		if r < last && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	e.ev.heap = h
+}
+
+// wakeRound returns node u's configured spontaneous wake round (1 when no
+// schedule is set, <= 0 for wake-on-message).
+func (e *engine) wakeRound(u int) int {
+	if e.cfg.Wake == nil {
+		return 1
+	}
+	return e.cfg.Wake[u]
+}
+
+// loopEvent is the event-driven main loop.
+func (e *engine) loopEvent(maxRounds int) {
+	n := e.g.N()
+	e.crossed = len(e.watch) == 0
+
+	// Spontaneous wake-ups become timer events. Wakes past the round cap
+	// can never fire (the dense loop never reaches them either).
+	if e.cfg.Wake == nil {
+		e.bucketAt(1).wakeAll = true
+	} else {
+		for u := 0; u < n; u++ {
+			if w := e.cfg.Wake[u]; w > 0 && w <= maxRounds {
+				b := e.bucketAt(w)
+				b.wakes = append(b.wakes, u)
+			}
+		}
+	}
+
+	t := 0
+	for {
+		var next int
+		if e.async || e.numRunning == 0 {
+			// The queue decides the next tick, so discard buckets whose
+			// events have all gone stale first — a leftover scheduled
+			// wake-up for a node that a message woke earlier must not
+			// keep the run alive or inflate Rounds.
+			e.pruneDeadEvents()
+		}
+		switch {
+		case !e.async && e.numRunning > 0:
+			// Synchronous semantics: awake nodes are stepped every round,
+			// so virtual time cannot skip ahead.
+			next = t + 1
+		case len(e.ev.heap) > 0:
+			next = e.ev.heap[0]
+		default:
+			// Nothing in flight, nothing scheduled, nobody running: the
+			// network is dead. A network dead on arrival still "runs" its
+			// first round, matching the dense loop's accounting.
+			if t == 0 {
+				t = 1
+			}
+			e.res.Rounds = t
+			return
+		}
+		if next > maxRounds {
+			e.res.Rounds = maxRounds
+			e.res.HitRoundCap = true
+			return
+		}
+		t = next
+		e.tick(t)
+		if e.err != nil {
+			return
+		}
+		if e.pendingMsgs == 0 {
+			if e.numHalted == n {
+				e.res.Rounds = t
+				return
+			}
+			if e.numRunning == 0 && len(e.ev.heap) == 0 {
+				// Only never-woken sleepers remain and no event is queued.
+				e.res.Rounds = t
+				return
+			}
+			if e.cfg.StopWhenQuiet && e.allDecided() {
+				e.res.Rounds = t
+				return
+			}
+		}
+	}
+}
+
+// pruneDeadEvents pops heap-min buckets that no longer hold any live
+// event. A delivery is always live; a scheduled wake-up is live while
+// its node still sleeps; a timer is live for a non-halted node in ASYNC
+// mode (in the synchronous modes timers are no-ops — awake nodes step
+// every round anyway). Liveness only ever decays, so a discarded bucket
+// could never have done anything.
+func (e *engine) pruneDeadEvents() {
+	sc := e.ev
+	for len(sc.heap) > 0 {
+		b := sc.buckets[sc.heap[0]]
+		if len(b.deliveries) > 0 || b.wakeAll {
+			return
+		}
+		for _, u := range b.wakes {
+			if !e.awake[u] {
+				return
+			}
+		}
+		if e.async {
+			for _, u := range b.timers {
+				if !e.halted[u] {
+					return
+				}
+			}
+		}
+		delete(sc.buckets, sc.heap[0])
+		e.heapPopMin()
+		b.clear()
+		sc.free = append(sc.free, b)
+	}
+}
+
+func (e *engine) allDecided() bool {
+	for _, s := range e.status {
+		if s == Undecided {
+			return false
+		}
+	}
+	return true
+}
+
+// tick processes every event scheduled for tick t and steps the nodes
+// those events (plus, in synchronous modes, the implicit per-round
+// timers) touch.
+func (e *engine) tick(t int) {
+	sc := e.ev
+	e.round = t
+	sc.recv = sc.recv[:0]
+	sc.wake = sc.wake[:0]
+	if e.async {
+		sc.stepSet = sc.stepSet[:0]
+	}
+
+	b := sc.buckets[t]
+	if b != nil {
+		delete(sc.buckets, t)
+		e.heapPopMin()
+		e.deliver(b.deliveries, t)
+		// Scheduled wake-ups rouse sleepers; a wake for a node that a
+		// message woke earlier is dead.
+		if b.wakeAll {
+			for u := 0; u < e.g.N(); u++ {
+				if !e.awake[u] {
+					sc.wake = append(sc.wake, u)
+				}
+			}
+		} else {
+			for _, u := range b.wakes {
+				if !e.awake[u] {
+					sc.wake = append(sc.wake, u)
+				}
+			}
+		}
+		// RequestWake timers step their (awake) node in ASYNC mode; in
+		// the synchronous modes awake nodes are stepped regardless.
+		if e.async {
+			for _, u := range b.timers {
+				if e.awake[u] && !e.halted[u] {
+					sc.stepSet = append(sc.stepSet, u)
+				}
+			}
+		}
+		b.clear()
+		sc.free = append(sc.free, b)
+	}
+	// Deliveries wake sleeping receivers.
+	for _, v := range sc.recv {
+		if !e.awake[v] {
+			sc.wake = append(sc.wake, v)
+		}
+	}
+
+	// Start phase: newly-woken nodes, in ascending node order (matching
+	// the dense loop's phase 2). sc.wake may hold duplicates; the awake
+	// check deduplicates. started keeps the nodes actually woken.
+	sort.Ints(sc.wake)
+	started := sc.wake[:0]
+	for _, u := range sc.wake {
+		if e.awake[u] {
+			continue
+		}
+		e.awake[u] = true
+		e.numRunning++
+		wr := e.wakeRound(u)
+		e.ctxs[u].spontaneous = wr > 0 && t >= wr && len(e.inbox[u]) == 0
+		e.procs[u].Start(&e.ctxs[u])
+		started = append(started, u)
+	}
+
+	// Build the step set.
+	var step []int
+	if !e.async {
+		// Synchronous: every awake non-halted node, i.e. the active list
+		// with this tick's wake-ups merged in and halted nodes compacted
+		// out (nodes may have halted during Start just above).
+		if len(started) > 0 {
+			sc.active = mergeSorted(sc.active, started, &sc.mergeBuf)
+		}
+		w := 0
+		for _, u := range sc.active {
+			if !e.halted[u] {
+				sc.active[w] = u
+				w++
+			}
+		}
+		sc.active = sc.active[:w]
+		step = sc.active
+	} else {
+		// ASYNC: exactly the nodes an event touched — receivers, fired
+		// timers, and fresh wake-ups.
+		cand := append(sc.stepSet, started...)
+		cand = append(cand, sc.recv...)
+		sort.Ints(cand)
+		w, prev := 0, -1
+		for _, u := range cand {
+			if u == prev || e.halted[u] {
+				continue
+			}
+			prev = u
+			cand[w] = u
+			w++
+		}
+		sc.stepSet = cand[:w]
+		step = sc.stepSet
+	}
+
+	// Step phase.
+	if e.cfg.Parallel {
+		e.stepListParallel(step)
+	} else {
+		for _, u := range step {
+			e.procs[u].Round(&e.ctxs[u], e.inbox[u])
+		}
+	}
+
+	// Merge phase: fold each touched node's private scratch (errors,
+	// status changes, halts, timer requests) into the engine, and flush
+	// its outbox into future delivery events. started ⊆ step except for
+	// nodes that halted inside Start, so visiting both lists covers every
+	// touched node; all merges are idempotent across the overlap.
+	e.mergeAndFlush(started, t)
+	e.mergeAndFlush(step, t)
+
+	// Consumed inboxes are reset for the next delivery.
+	for _, v := range sc.recv {
+		e.inbox[v] = e.inbox[v][:0]
+	}
+}
+
+// deliver applies one tick's message arrivals: inbox building, sorting,
+// and the full accounting (totals, per-edge counts, watched crossings) at
+// delivery time, exactly like the dense loop's phase 1.
+func (e *engine) deliver(ds []delivery, t int) {
+	sc := e.ev
+	for _, d := range ds {
+		v := d.to
+		if len(e.inbox[v]) == 0 {
+			sc.recv = append(sc.recv, v)
+		}
+		e.inbox[v] = append(e.inbox[v], Message{Port: d.port, Payload: d.pl})
+		bits := d.pl.Bits()
+		e.res.Bits += int64(bits)
+		if bits > e.res.MaxMsgBits {
+			e.res.MaxMsgBits = bits
+		}
+		if e.perEdge != nil || e.watch != nil {
+			key := normPair(v, e.g.Neighbor(v, d.port))
+			if e.perEdge != nil {
+				e.perEdge[key]++
+			}
+			if e.watch != nil && e.watch[key] {
+				if e.res.FirstCrossing[key] == 0 {
+					e.res.FirstCrossing[key] = t
+				}
+				e.crossed = true
+			}
+		}
+	}
+	e.pendingMsgs -= len(ds)
+	e.res.Messages += int64(len(ds))
+	if len(ds) > 0 {
+		e.res.LastActive = t
+	}
+	if !e.crossed {
+		e.res.MessagesBeforeCrossing = e.res.Messages
+	}
+	// Deterministic inbox order: ascending receiving port, preserving
+	// per-link send order within a port.
+	for _, v := range sc.recv {
+		in := e.inbox[v]
+		sort.SliceStable(in, func(i, j int) bool { return in[i].Port < in[j].Port })
+	}
+}
+
+// mergeAndFlush folds the private scratch of each node in list into the
+// engine state and schedules its outgoing messages. Safe to call on
+// overlapping lists: every merge is guarded or self-clearing.
+func (e *engine) mergeAndFlush(list []int, t int) {
+	sc := e.ev
+	for _, u := range list {
+		if e.nodeErr[u] != nil && e.err == nil {
+			e.err = e.nodeErr[u]
+		}
+		if e.changed[u] {
+			e.changed[u] = false
+			e.res.LastActive = t
+		}
+		if e.halted[u] && !sc.haltCounted[u] {
+			sc.haltCounted[u] = true
+			e.numHalted++
+			e.numRunning--
+		}
+		if at := sc.wakeAt[u]; at != 0 {
+			sc.wakeAt[u] = 0
+			if at <= t {
+				at = t + 1
+			}
+			if at <= e.maxTick {
+				bw := e.bucketAt(at)
+				bw.timers = append(bw.timers, u)
+			}
+		}
+		ob := e.outbox[u]
+		for p := range ob {
+			pls := ob[p]
+			if len(pls) == 0 {
+				continue
+			}
+			v := e.g.Neighbor(u, p)
+			back := e.portBack[u][p]
+			if e.async {
+				seq := sc.linkSeq[u][p]
+				for k, pl := range pls {
+					d := e.delay.Delay(e.cfg.Seed, u, p, seq+k)
+					if d < 1 {
+						d = 1 // a custom schedule must not move time backwards
+					}
+					db := e.bucketAt(t + d)
+					db.deliveries = append(db.deliveries, delivery{to: v, port: back, pl: pl})
+				}
+				sc.linkSeq[u][p] = seq + len(pls)
+			} else {
+				db := e.bucketAt(t + 1)
+				for _, pl := range pls {
+					db.deliveries = append(db.deliveries, delivery{to: v, port: back, pl: pl})
+				}
+			}
+			e.pendingMsgs += len(pls)
+			ob[p] = pls[:0]
+		}
+	}
+}
+
+// mergeSorted merges two ascending int slices into dst (reusing *buf as
+// scratch), returning the merged slice.
+func mergeSorted(a, b []int, buf *[]int) []int {
+	out := (*buf)[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	// Swap backing arrays so both the result and the scratch stay reusable.
+	*buf = a[:0]
+	return out
+}
+
+// stepListParallel runs one tick's node steps on a worker pool. Each
+// node's step touches only its own state, so this is race-free and
+// produces exactly the sequential results.
+func (e *engine) stepListParallel(list []int) {
+	runParallelSteps(len(list), func(i int) {
+		u := list[i]
+		e.procs[u].Round(&e.ctxs[u], e.inbox[u])
+	})
+}

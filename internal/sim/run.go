@@ -58,6 +58,9 @@ type Runner struct {
 	procs   []Process
 	ctxs    []Context
 	rngs    []*rand.Rand
+
+	// Reusable event-engine state (queue buckets, heap, active lists).
+	ev *evScratch
 }
 
 // NewRunner validates the graph and precomputes the reusable engine state.
@@ -94,6 +97,7 @@ func NewRunner(g *graph.Graph) (*Runner, error) {
 		r.outbox[u] = make([][]Payload, deg)
 		r.rngs[u] = rand.New(rand.NewSource(0))
 	}
+	r.ev = newEvScratch(n, g.Degree)
 	return r, nil
 }
 
@@ -123,6 +127,15 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = CONGEST
+	}
+	if cfg.Delay != nil && cfg.Mode != ASYNC {
+		return nil, fmt.Errorf("%w: delay schedules require ASYNC mode", ErrConfig)
+	}
+	if cfg.DenseLoop && cfg.Mode == ASYNC {
+		return nil, fmt.Errorf("%w: the dense loop cannot run the ASYNC model", ErrConfig)
+	}
+	if cfg.Mode == ASYNC && cfg.Delay == nil {
+		cfg.Delay = UnitDelay()
 	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -155,11 +168,24 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 		procs:    r.procs,
 		ctxs:     r.ctxs,
 	}
+	if !cfg.DenseLoop {
+		r.ev.reset()
+		e.ev = r.ev
+		e.async = cfg.Mode == ASYNC
+		e.delay = cfg.Delay
+	}
 	for u := 0; u < n; u++ {
 		for pt := range e.outbox[u] {
 			e.outbox[u][pt] = e.outbox[u][pt][:0]
 		}
 		e.inbox[u] = e.inbox[u][:0]
+		if e.ev != nil {
+			for pt := range e.ev.linkSeq[u] {
+				e.ev.linkSeq[u][pt] = 0
+			}
+			e.ev.wakeAt[u] = 0
+			e.ev.haltCounted[u] = false
+		}
 		e.status[u] = Undecided
 		e.halted[u] = false
 		e.awake[u] = false
@@ -190,7 +216,12 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 		e.res.PerEdge = e.perEdge
 	}
 
-	e.loop(maxRounds)
+	if cfg.DenseLoop {
+		e.loopDense(maxRounds)
+	} else {
+		e.maxTick = maxRounds
+		e.loopEvent(maxRounds)
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -218,7 +249,11 @@ func normPair(u, v int) [2]int {
 	return [2]int{u, v}
 }
 
-func (e *engine) loop(maxRounds int) {
+// loopDense is the legacy synchronous engine: one pass over every node in
+// every round. It is observably equivalent to loopEvent in CONGEST/LOCAL
+// mode and is kept as the reference implementation for differential tests
+// and the engine benchmarks.
+func (e *engine) loopDense(maxRounds int) {
 	n := e.g.N()
 	crossed := len(e.watch) == 0 // true once any watched edge was crossed
 	for e.round = 1; e.round <= maxRounds; e.round++ {
@@ -272,8 +307,11 @@ func (e *engine) loop(maxRounds int) {
 			sort.SliceStable(in, func(i, j int) bool { return in[i].Port < in[j].Port })
 		}
 
-		// Phase 2: wake-ups.
+		// Phase 2: wake-ups. A sleeper whose scheduled wake round is still
+		// in the future is not dead — it must keep the run alive until it
+		// fires (the event engine treats it as a queued timer event).
 		anySleeping := false
+		futureWake := false
 		for u := 0; u < n; u++ {
 			if e.awake[u] {
 				continue
@@ -290,6 +328,9 @@ func (e *engine) loop(maxRounds int) {
 				e.procs[u].Start(&e.ctxs[u])
 			} else {
 				anySleeping = true
+				if wakeRound > e.round && wakeRound <= maxRounds {
+					futureWake = true
+				}
 			}
 		}
 
@@ -341,9 +382,10 @@ func (e *engine) loop(maxRounds int) {
 			e.res.Rounds = e.round
 			return
 		}
-		if !pending && !anyRunning && anySleeping {
-			// Deadlock: only never-woken sleepers remain and nothing is in
-			// flight; nothing can ever happen again.
+		if !pending && !anyRunning && anySleeping && !futureWake {
+			// Deadlock: only never-woken sleepers remain, none of them has
+			// a scheduled wake still ahead, and nothing is in flight;
+			// nothing can ever happen again.
 			e.res.Rounds = e.round
 			return
 		}
@@ -365,20 +407,27 @@ func (e *engine) loop(maxRounds int) {
 	e.res.HitRoundCap = true
 }
 
-// stepParallel runs one round's node steps on a worker pool. Each node's
-// step touches only its own state and its own outbox row, so this is
-// race-free and produces exactly the sequential results.
+// stepParallel runs one dense round's node steps on a worker pool. Each
+// node's step touches only its own state and its own outbox row, so this
+// is race-free and produces exactly the sequential results.
 func (e *engine) stepParallel() {
-	n := e.g.N()
+	runParallelSteps(e.g.N(), func(u int) {
+		if e.awake[u] && !e.halted[u] {
+			e.procs[u].Round(&e.ctxs[u], e.inbox[u])
+		}
+	})
+}
+
+// runParallelSteps calls step(i) for every i in [0, count) from a chunked
+// worker pool (or inline when a pool is not worth spinning up).
+func runParallelSteps(count int, step func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if workers > count {
+		workers = count
 	}
 	if workers <= 1 {
-		for u := 0; u < n; u++ {
-			if e.awake[u] && !e.halted[u] {
-				e.procs[u].Round(&e.ctxs[u], e.inbox[u])
-			}
+		for i := 0; i < count; i++ {
+			step(i)
 		}
 		return
 	}
@@ -397,17 +446,15 @@ func (e *engine) stepParallel() {
 				lo := next
 				next += chunk
 				mu.Unlock()
-				if lo >= n {
+				if lo >= count {
 					return
 				}
 				hi := lo + chunk
-				if hi > n {
-					hi = n
+				if hi > count {
+					hi = count
 				}
-				for u := lo; u < hi; u++ {
-					if e.awake[u] && !e.halted[u] {
-						e.procs[u].Round(&e.ctxs[u], e.inbox[u])
-					}
+				for i := lo; i < hi; i++ {
+					step(i)
 				}
 			}
 		}()

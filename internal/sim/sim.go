@@ -1,20 +1,30 @@
-// Package sim implements the synchronous message-passing network model of
-// the paper: computation proceeds in rounds; in every round each awake node
-// receives the messages its neighbors sent in the previous round, performs
-// local computation (with access to private unbiased coins), and sends at
-// most one message per incident port.
+// Package sim implements the message-passing network models of the paper
+// on one event-driven execution engine: a deterministic pending-event
+// queue of message deliveries and timer wake-ups in which only the nodes
+// an event touches are stepped (see event.go).
 //
-// Two execution modes mirror the paper's models:
+// Three execution modes mirror the paper's models (the PODC version is
+// synchronous; the JACM version frames leader election for asynchronous
+// networks too):
 //
-//   - CONGEST: every message is charged its encoded size in bits and must
-//     fit the per-message bit budget (Θ(log n) by default);
-//   - LOCAL: message size is unrestricted (used by the lower-bound
-//     experiments, which hold even in LOCAL).
+//   - CONGEST (synchronous): computation proceeds in rounds; each awake
+//     node receives the messages its neighbors sent in the previous
+//     round, computes locally (with private unbiased coins), and sends at
+//     most one message per incident port. Every message is charged its
+//     encoded size in bits and must fit the per-message bit budget
+//     (Θ(log n) by default).
+//   - LOCAL (synchronous): like CONGEST but with unrestricted message
+//     size (used by the lower-bound experiments, which hold even here).
+//   - ASYNC: the event-driven asynchronous model. Each message incurs a
+//     per-message latency drawn from a deterministic DelaySchedule (the
+//     schedule adversary), and a node computes only when a delivery or a
+//     timer (Context.RequestWake) arrives. CONGEST accounting applies.
 //
-// The engine is deterministic given (graph, protocol, seed): node coins are
-// derived from the run seed with splitmix64, and inboxes are delivered in
-// port order. A goroutine-parallel runner with identical observable
-// behaviour is provided for multi-core experiment sweeps.
+// Every mode is deterministic given (graph, protocol, seed): node coins
+// are derived from the run seed with splitmix64, inboxes are delivered in
+// port order, and asynchronous delays are pure functions of the seed and
+// the message coordinates. A goroutine-parallel runner with identical
+// observable behaviour is provided for multi-core experiment sweeps.
 package sim
 
 import (
@@ -47,14 +57,32 @@ func (s Status) String() string {
 	}
 }
 
-// Mode selects the communication model.
+// Mode selects the communication and timing model.
 type Mode int
 
-// Communication models (see package comment).
+// Execution models. CONGEST and LOCAL are the synchronous round-based
+// models of the package comment; ASYNC is the event-driven asynchronous
+// model, in which messages incur per-message delays drawn from a
+// deterministic DelaySchedule and a node computes only when an event (a
+// delivery or a timer) arrives. ASYNC uses CONGEST message accounting.
 const (
 	CONGEST Mode = iota + 1
 	LOCAL
+	ASYNC
 )
+
+func (m Mode) String() string {
+	switch m {
+	case CONGEST:
+		return "congest"
+	case LOCAL:
+		return "local"
+	case ASYNC:
+		return "async"
+	default:
+		return "mode(0)"
+	}
+}
 
 // Payload is the content of a message. Bits reports the encoded size used
 // for CONGEST accounting; implementations should charge Θ(log n) bits per
@@ -130,8 +158,22 @@ func (c *Context) Degree() int { return c.info.Degree }
 // Know returns the a-priori knowledge configured for this run.
 func (c *Context) Know() Knowledge { return c.info.Know }
 
-// Round returns the current round number (1-based).
+// Round returns the current round number (1-based). In ASYNC mode it is
+// the current virtual time tick.
 func (c *Context) Round() int { return c.eng.round }
+
+// RequestWake schedules a timer event for this node delta ticks in the
+// future (delta < 1 is clamped to 1): the node's Round is then called at
+// that tick even if no message arrives. Timers are how asynchronous
+// protocols arrange to act after a silent period; in the synchronous
+// modes every awake node is stepped each round anyway, so the call is a
+// no-op there. Repeated calls keep the earliest requested tick.
+func (c *Context) RequestWake(delta int) {
+	if delta < 1 {
+		delta = 1
+	}
+	c.eng.requestWake(c.node, c.eng.round+delta)
+}
 
 // Rand returns the node's private source of unbiased coins. It is
 // deterministic given the run seed and the node index.
@@ -222,6 +264,14 @@ type Config struct {
 	// Parallel runs node steps on a worker pool; observable behaviour is
 	// identical to the sequential runner.
 	Parallel bool
+	// Delay is the asynchronous adversary's message-delay schedule. Only
+	// valid in ASYNC mode, where nil selects UnitDelay.
+	Delay DelaySchedule
+	// DenseLoop selects the legacy dense per-round scanner instead of the
+	// event-driven scheduler (synchronous modes only). The two engines
+	// produce identical results; the dense loop is kept as the reference
+	// for differential tests and engine benchmarks.
+	DenseLoop bool
 }
 
 // Result summarizes a finished run.
@@ -299,6 +349,19 @@ type engine struct {
 	watch   map[[2]int]bool
 	perEdge map[[2]int]int64
 
+	// Event-driven scheduler state (see event.go); ev is nil under the
+	// legacy dense loop.
+	ev      *evScratch
+	delay   DelaySchedule
+	async   bool
+	crossed bool
+	// O(1) termination counters, maintained by the event loop's merge
+	// phase (the dense loop re-derives them by scanning).
+	pendingMsgs int
+	numRunning  int // awake && !halted
+	numHalted   int
+	maxTick     int // round cap; timers past it are never scheduled
+
 	res Result
 	err error
 }
@@ -343,6 +406,18 @@ func (e *engine) decide(u int, s Status) {
 	if e.status[u] != s {
 		e.status[u] = s
 		e.changed[u] = true
+	}
+}
+
+// requestWake records a node's timer request in its private slot; the
+// event loop's merge phase turns it into a queue event (race-free under
+// the parallel runner, like send and decide).
+func (e *engine) requestWake(u, at int) {
+	if e.ev == nil {
+		return // dense loop: every awake node is stepped each round anyway
+	}
+	if w := e.ev.wakeAt[u]; w == 0 || at < w {
+		e.ev.wakeAt[u] = at
 	}
 }
 
