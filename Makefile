@@ -15,9 +15,17 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # One iteration per benchmark: proves the bench harness still runs without
-# paying for a full measurement sweep.
+# paying for a full measurement sweep (-benchmem so the allocation columns
+# the fast-path work watches are exercised too). Wired into CI.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' .
+
+# The allocation fast-path measurement set (docs/PERFORMANCE.md): engine
+# benchmarks plus the AllocsPerRun budget tests. Used to regenerate
+# BENCH_ALLOC_FASTPATH.json.
+bench-alloc:
+	$(GO) test -run 'TestAllocBudget' -v .
+	$(GO) test -bench 'EngineSparse|EngineWarm|EngineAsync|EngineParallel|EngineThroughput' -benchtime 5x -benchmem -run='^$$' .
 
 # A tiny end-to-end sweep through the parallel harness: every registered
 # algorithm on two graph families, JSON document discarded after parsing.

@@ -1,0 +1,91 @@
+// Allocation-budget regression tests for the zero-allocation messaging
+// fast path (docs/PERFORMANCE.md): a warm Runner on the event engine must
+// execute steady-state rounds with single-digit allocations per round.
+// The budgets are deliberately loose multiples of the measured values so
+// that the tests flag structural regressions (a reintroduced per-send
+// boxing, a reflect sort, per-round map churn), not noise.
+package ule
+
+import (
+	"math/rand"
+	"testing"
+
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/sim"
+)
+
+// allocsPerRound measures the average allocations per simulated round of
+// one warm, deterministic run repeated via testing.AllocsPerRun.
+func allocsPerRound(t *testing.T, warmup int, run func() int) float64 {
+	t.Helper()
+	rounds := run()
+	if rounds <= 0 {
+		t.Fatal("run executed no rounds")
+	}
+	for i := 1; i < warmup; i++ {
+		if r := run(); r != rounds {
+			t.Fatalf("warm-up run not deterministic: %d rounds, then %d", rounds, r)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() { run() })
+	return allocs / float64(rounds)
+}
+
+// TestAllocBudgetWaveRing pins the engine-only budget: the wave protocol
+// allocates nothing itself after Start, so everything measured here is
+// engine overhead (per-run process construction amortized over the
+// rounds, plus the steady-state cost of ticks, deliveries and merges).
+func TestAllocBudgetWaveRing(t *testing.T) {
+	g := graph.Ring(1024)
+	wake := adversarialWake(g.N())
+	r, err := sim.NewRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sim.Result
+	run := func() int {
+		if err := r.RunInto(sim.Config{Seed: 7, Wake: wake}, waveProto{}, &res); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Halted || res.Messages != int64(g.N()+1) {
+			t.Fatalf("wave broken: halted=%v messages=%d", res.Halted, res.Messages)
+		}
+		return res.Rounds
+	}
+	if got := allocsPerRound(t, 2, run); got >= 10 {
+		t.Errorf("wave on ring:1024: %.2f allocs/round, want single digits", got)
+	}
+}
+
+// TestAllocBudgetLeastelRing pins the full-protocol budget: leastel keeps
+// every node a candidate, so the measurement covers the flood machinery
+// (pooled wire boxes, drip queues, slab-allocated adoption states) on top
+// of the engine. Steady-state traffic allocates nothing; the measured
+// ~15 allocs/round are per-run construction of the per-node protocol
+// state (proc, flooder, ports, adoption map, first-use buffers — about 14
+// objects per node, amortized over ~n rounds), which the sim.Process
+// lifecycle rebuilds each run by design.
+func TestAllocBudgetLeastelRing(t *testing.T) {
+	g := graph.Ring(512)
+	wake := adversarialWake(g.N())
+	ids := sim.PermutationIDs(g.N(), rand.New(rand.NewSource(3)))
+	prep, err := core.Prepare(g, "leastel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sim.Result
+	run := func() int {
+		err := prep.RunInto(core.RunOpts{Seed: 7, IDs: ids, Wake: wake, MaxRounds: 1 << 15}, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.UniqueLeader() {
+			t.Fatal("election failed")
+		}
+		return res.Rounds
+	}
+	if got := allocsPerRound(t, 2, run); got >= 20 {
+		t.Errorf("leastel on ring:512: %.2f allocs/round, budget 20 (≈15 measured)", got)
+	}
+}

@@ -295,6 +295,10 @@ type waveMsg struct{}
 
 func (waveMsg) Bits() int { return 1 }
 
+// waveTok is the singleton wave payload (field-less payloads are sent as
+// package-level singletons; see docs/PERFORMANCE.md).
+var waveTok sim.Payload = waveMsg{}
+
 type waveProto struct{}
 
 func (waveProto) Name() string                 { return "wave" }
@@ -305,7 +309,7 @@ type waveProc struct{ done bool }
 func (p *waveProc) Start(c *sim.Context) {
 	if c.SpontaneousWake() {
 		p.done = true
-		c.Broadcast(waveMsg{})
+		c.Broadcast(waveTok)
 		c.Decide(sim.NonLeader)
 		c.Halt()
 	}
@@ -314,7 +318,7 @@ func (p *waveProc) Start(c *sim.Context) {
 func (p *waveProc) Round(c *sim.Context, inbox []sim.Message) {
 	if !p.done {
 		p.done = true
-		c.BroadcastExcept(inbox[0].Port, waveMsg{})
+		c.BroadcastExcept(inbox[0].Port, waveTok)
 		c.Decide(sim.NonLeader)
 	}
 	c.Halt()
@@ -383,6 +387,32 @@ func BenchmarkEngineSparse_LeastelAdversarial(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineWarm_LeastelAdversarial is the steady-state variant of
+// the sparse comparison: one Prepared — a warm sim.Runner plus a recycled
+// Result — serves every iteration, so the per-op numbers are pure fast
+// path (message arenas, pooled payloads, timing wheel) with no Runner or
+// Result construction. Recorded in BENCH_ALLOC_FASTPATH.json.
+func BenchmarkEngineWarm_LeastelAdversarial(b *testing.B) {
+	g := graph.Ring(4096)
+	wake := adversarialWake(g.N())
+	prep, err := core.Prepare(g, "leastel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res sim.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := prep.RunInto(core.RunOpts{Seed: int64(i), Wake: wake, MaxRounds: 1 << 15}, &res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.UniqueLeader() {
+			b.Fatal("election failed")
+		}
 	}
 }
 

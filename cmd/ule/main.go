@@ -5,6 +5,7 @@
 //
 //	ule -graph ring:64 -algo leastel -trials 5 -seed 1
 //	ule -graph ring:64 -algo leastel -mode async -delay random:8
+//	ule -graph ring:4096 -algo leastel -trials 20 -cpuprofile cpu.out -memprofile mem.out
 //	ule -list
 //
 // Graph specs: path:N ring:N star:N complete:N grid:RxC torus:RxC
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ule/election"
 	"ule/internal/graph"
@@ -47,9 +50,38 @@ func run(args []string) error {
 		smallIDs  = fs.Bool("small-ids", false, "permutation IDs 1..n (needed for dfs)")
 		maxRounds = fs.Int("max-rounds", 1<<18, "round cap")
 		list      = fs.Bool("list", false, "list algorithms and exit")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the trials to this file")
+		memProf   = fs.String("memprofile", "", "write an allocation profile to this file after the trials")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// A final GC makes the heap profile reflect live data, while
+			// alloc_space/alloc_objects still cover everything the trials
+			// allocated — the view the fast-path regression work uses.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ule: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if *list {
 		for _, name := range election.Algorithms() {

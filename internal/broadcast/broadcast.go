@@ -30,6 +30,9 @@ type token struct{}
 
 func (token) Bits() int { return 1 }
 
+// msgToken is the flood payload, sent as a package-level singleton.
+var msgToken sim.Payload = token{}
+
 type floodProc struct{ got bool }
 
 // Protocol convention: the source is the unique node with wake round 1;
@@ -38,7 +41,7 @@ func (p *floodProc) Start(c *sim.Context) {
 	if c.SpontaneousWake() {
 		p.got = true
 		c.Decide(sim.Leader) // "informed" marker; Leader doubles as got-it
-		c.Broadcast(token{})
+		c.Broadcast(msgToken)
 		c.Halt()
 	}
 }
@@ -47,7 +50,7 @@ func (p *floodProc) Round(c *sim.Context, inbox []sim.Message) {
 	if !p.got && len(inbox) > 0 {
 		p.got = true
 		c.Decide(sim.Leader)
-		c.Broadcast(token{})
+		c.Broadcast(msgToken)
 	}
 	c.Halt()
 }

@@ -67,6 +67,15 @@ func (m cRec) Bits() int {
 func (cEnd) Bits() int  { return 4 }
 func (cMark) Bits() int { return 3 }
 
+// Package-level singletons for the field-less (and two-valued) payloads:
+// sending one never converts a fresh value into the Payload interface.
+var (
+	msgAccept  sim.Payload = cAccept{}
+	msgMark    sim.Payload = cMark{}
+	msgEndUp   sim.Payload = cEnd{}
+	msgEndDown sim.Payload = cEnd{down: true}
+)
+
 // record is a retained inter-cluster edge.
 type record struct {
 	other   int64
@@ -103,6 +112,9 @@ type clusterProc struct {
 	meKey   flKey
 	decided bool
 	buf3    []portMsg
+
+	// Reusable per-round classification scratch.
+	joinBuf, answerBuf, recBuf []sim.Message
 }
 
 func (p *clusterProc) Start(c *sim.Context) {
@@ -134,7 +146,7 @@ func (p *clusterProc) Start(c *sim.Context) {
 func (p *clusterProc) Round(c *sim.Context, inbox []sim.Message) {
 	// Collect per-kind, processing joins first so that same-round
 	// joins/answers are handled consistently.
-	var joins, answers, recs []sim.Message
+	joins, answers, recs := p.joinBuf[:0], p.answerBuf[:0], p.recBuf[:0]
 	for _, in := range inbox {
 		switch in.Payload.(type) {
 		case cJoin:
@@ -148,13 +160,13 @@ func (p *clusterProc) Round(c *sim.Context, inbox []sim.Message) {
 			if p.inPh3 {
 				p.fl.addPort(in.Port)
 			}
-		case taggedMsg:
-			t := in.Payload.(taggedMsg)
-			if t.tag == tagPhaseB {
+		case *taggedMsg:
+			if t := unboxTagged(in.Payload.(*taggedMsg)); t.tag == tagPhaseB {
 				p.buf3 = append(p.buf3, portMsg{port: in.Port, m: t.m})
 			}
 		}
 	}
+	p.joinBuf, p.answerBuf, p.recBuf = joins, answers, recs
 	for _, in := range joins {
 		p.handleJoin(c, in.Port, in.Payload.(cJoin))
 	}
@@ -167,7 +179,7 @@ func (p *clusterProc) Round(c *sim.Context, inbox []sim.Message) {
 	p.queue.flush(func(port int, pl sim.Payload) { c.Send(port, pl) }, 2)
 	if p.inPh3 {
 		msgs := p.buf3
-		p.buf3 = nil
+		p.buf3 = p.buf3[:0] // handleRound copies; keep the capacity
 		p.fl.handleRound(msgs)
 		p.fl.flush()
 		p.decide(c)
@@ -185,7 +197,7 @@ func (p *clusterProc) handleJoin(c *sim.Context, port int, m cJoin) {
 	p.cluster = m.cluster
 	p.parentPort = port
 	p.awaiting = c.Degree() - 1
-	c.Send(port, cAccept{})
+	c.Send(port, msgAccept)
 	c.BroadcastExcept(port, cJoin{cluster: p.cluster})
 	p.maybeFinishPhase1(c)
 }
@@ -245,7 +257,7 @@ func (p *clusterProc) maybeSendUp(c *sim.Context) {
 		r := p.upRecs[cl]
 		p.queue.push(p.parentPort, cRec{other: r.other, owner: r.owner, ownPort: r.ownPort})
 	}
-	p.queue.push(p.parentPort, cEnd{})
+	p.queue.push(p.parentPort, msgEndUp)
 }
 
 // rootFinish: the candidate owns the final sparsified inter-cluster graph;
@@ -263,7 +275,7 @@ func (p *clusterProc) pushDown(c *sim.Context, recs []record) {
 		for _, r := range recs {
 			p.queue.push(port, cRec{down: true, other: r.other, owner: r.owner, ownPort: r.ownPort})
 		}
-		p.queue.push(port, cEnd{down: true})
+		p.queue.push(port, msgEndDown)
 	}
 }
 
@@ -312,7 +324,7 @@ func (p *clusterProc) enterPhase3(c *sim.Context) {
 	for _, r := range p.finalRecs {
 		if r.owner == p.me {
 			ports[r.ownPort] = true
-			c.Send(r.ownPort, cMark{})
+			c.Send(r.ownPort, msgMark)
 		}
 	}
 	for mp := range p.markPorts {
@@ -324,7 +336,7 @@ func (p *clusterProc) enterPhase3(c *sim.Context) {
 	}
 	sort.Ints(sorted)
 	p.fl = newFlooder(sorted, true, func(port int, m flMsg) {
-		c.Send(port, taggedMsg{tag: tagPhaseB, m: m})
+		c.Send(port, boxTagged(tagPhaseB, m))
 	})
 	p.meKey = drawKey(c, rankSpace(c.Know().N))
 	// Anonymous networks reuse the phase-1 identity as the tiebreak token.

@@ -61,6 +61,12 @@ func (wakeMsg) Bits() int    { return 1 }
 func (m agentMsg) Bits() int { return 1 + sim.BitsFor(m.id) }
 func (doneMsg) Bits() int    { return 1 }
 
+// Field-less payload singletons: sends never re-box a fresh value.
+var (
+	msgWake sim.Payload = wakeMsg{}
+	msgDone sim.Payload = doneMsg{}
+)
+
 // dfsAgent is the per-agent DFS bookkeeping kept at each visited node.
 type dfsAgent struct {
 	visited    bool
@@ -118,7 +124,7 @@ func (p *dfsProc) Start(c *sim.Context) {
 func (p *dfsProc) wake(c *sim.Context) {
 	p.started = true
 	p.me = c.ID()
-	c.Broadcast(wakeMsg{})
+	c.Broadcast(msgWake)
 	if p.me < p.smallest {
 		p.smallest = p.me
 	}
@@ -220,7 +226,7 @@ func (p *dfsProc) step(c *sim.Context, d *dfsPend) {
 	c.Decide(sim.Leader)
 	p.decided = true
 	p.doneSent = true
-	c.Broadcast(doneMsg{})
+	c.Broadcast(msgDone)
 	c.Halt()
 }
 
@@ -232,7 +238,7 @@ func (p *dfsProc) finish(c *sim.Context) {
 	}
 	if !p.doneSent {
 		p.doneSent = true
-		c.Broadcast(doneMsg{})
+		c.Broadcast(msgDone)
 	}
 	c.Halt()
 }

@@ -1,6 +1,10 @@
 package core
 
-import "ule/internal/sim"
+import (
+	"sync"
+
+	"ule/internal/sim"
+)
 
 // Estimate is the Corollary 4.5 algorithm: leader election with probability
 // 1 in O(D) time and O(m·min(log n, D)) messages whp, with NO knowledge of
@@ -35,13 +39,31 @@ const (
 	tagStartB
 )
 
-// taggedMsg wraps a flood message with its phase tag.
+// taggedMsg wraps a flood message with its phase tag. Like flMsg it
+// crosses the network behind a pooled pointer box (see the ownership
+// contract at flMsgPool).
 type taggedMsg struct {
 	tag uint8
 	m   flMsg
 }
 
 func (t taggedMsg) Bits() int { return 3 + t.m.Bits() }
+
+var taggedPool = sync.Pool{New: func() any { return new(taggedMsg) }}
+
+// boxTagged draws a pooled wire box for a tagged flood message.
+func boxTagged(tag uint8, m flMsg) *taggedMsg {
+	b := taggedPool.Get().(*taggedMsg)
+	b.tag, b.m = tag, m
+	return b
+}
+
+// unboxTagged copies the received value out and releases the box.
+func unboxTagged(b *taggedMsg) taggedMsg {
+	t := *b
+	taggedPool.Put(b)
+	return t
+}
 
 // startBMsg floods the phase-B start signal carrying X̄.
 type startBMsg struct{ xbar int64 }
@@ -56,15 +78,17 @@ type estimateProc struct {
 	startFwd bool
 	decided  bool
 	sawAWin  bool
+
+	aBuf, bBuf []portMsg // reusable per-round decode scratch
 }
 
 func (p *estimateProc) Start(c *sim.Context) {
 	ports := allPorts(c.Degree())
 	p.flA = newFlooder(ports, false, func(port int, m flMsg) {
-		c.Send(port, taggedMsg{tag: tagPhaseA, m: m})
+		c.Send(port, boxTagged(tagPhaseA, m))
 	})
 	p.flB = newFlooder(ports, true, func(port int, m flMsg) {
-		c.Send(port, taggedMsg{tag: tagPhaseB, m: m})
+		c.Send(port, boxTagged(tagPhaseB, m))
 	})
 	// Geometric draw: flips until the first heads.
 	p.x = 1
@@ -105,16 +129,17 @@ func (p *estimateProc) enterPhaseB(c *sim.Context, xbar int64) {
 }
 
 func (p *estimateProc) Round(c *sim.Context, inbox []sim.Message) {
-	var aMsgs, bMsgs []portMsg
+	aMsgs, bMsgs := p.aBuf[:0], p.bBuf[:0]
 	startB := int64(0)
 	for _, in := range inbox {
 		switch m := in.Payload.(type) {
-		case taggedMsg:
-			switch m.tag {
+		case *taggedMsg:
+			t := unboxTagged(m)
+			switch t.tag {
 			case tagPhaseA:
-				aMsgs = append(aMsgs, portMsg{port: in.Port, m: m.m})
+				aMsgs = append(aMsgs, portMsg{port: in.Port, m: t.m})
 			case tagPhaseB:
-				bMsgs = append(bMsgs, portMsg{port: in.Port, m: m.m})
+				bMsgs = append(bMsgs, portMsg{port: in.Port, m: t.m})
 			}
 		case startBMsg:
 			if startB == 0 || m.xbar > startB {
@@ -122,6 +147,7 @@ func (p *estimateProc) Round(c *sim.Context, inbox []sim.Message) {
 			}
 		}
 	}
+	p.aBuf, p.bBuf = aMsgs, bMsgs
 	p.flA.handleRound(aMsgs)
 	// Phase-A completion at the maximum holder triggers the start flood.
 	if p.flA.completed && p.flA.won && !p.sawAWin {

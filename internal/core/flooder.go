@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"ule/internal/sim"
 )
@@ -53,6 +53,33 @@ func (m flMsg) Bits() int {
 	return b
 }
 
+// Pooled wire boxes. Flood messages dominate the traffic of every
+// randomized algorithm here, and boxing each flMsg value into the Payload
+// interface was one heap allocation per send; instead the wire payloads
+// are *flMsg / *taggedMsg pointers drawn from free lists, so steady-state
+// sends allocate nothing.
+//
+// Ownership contract: the sender draws one box per Send (never reusing a
+// box across ports), and the receiver copies the value out and releases
+// the box as it decodes its inbox. Boxes that are never decoded (arrivals
+// at halted nodes, aborted runs) are simply dropped — the GC reclaims
+// them, which sync.Pool tolerates.
+var flMsgPool = sync.Pool{New: func() any { return new(flMsg) }}
+
+// boxFl draws a pooled wire box holding m.
+func boxFl(m flMsg) *flMsg {
+	b := flMsgPool.Get().(*flMsg)
+	*b = m
+	return b
+}
+
+// unboxFl copies the received value out and releases the box.
+func unboxFl(b *flMsg) flMsg {
+	m := *b
+	flMsgPool.Put(b)
+	return m
+}
+
 // flState tracks one origin's propagation-with-feedback (the "echo"
 // mechanism of [11] as described in Section 4.2).
 type flState struct {
@@ -73,7 +100,11 @@ type flooder struct {
 	min   bool
 	ports []int // real ports the flood uses
 	raw   func(realPort int, m flMsg)
-	q     *portQueue
+	q     flQueue
+
+	// rankBuf/ackBuf are the reusable per-round partition scratch of
+	// handleRound.
+	rankBuf, ackBuf []portMsg
 
 	participating bool
 	self          flKey
@@ -85,6 +116,11 @@ type flooder struct {
 	best   flKey
 	heard  flKey
 	states map[int64]*flState
+	// slab chunk-allocates flState records: one allocation per chunk
+	// instead of one per adoption. A full chunk is abandoned in place (map
+	// values keep pointing into it) and a fresh one started, so addresses
+	// stay stable.
+	slab []flState
 
 	// listLen counts adopted entries: the size of this node's
 	// least-element list (Lemma 4.3 measures its expectation).
@@ -103,13 +139,36 @@ type flooder struct {
 const flushRate = 4
 
 func newFlooder(ports []int, min bool, out func(int, flMsg)) *flooder {
-	f := &flooder{min: min, ports: ports, raw: out, q: newPortQueue(), states: make(map[int64]*flState)}
+	f := new(flooder)
+	initFlooder(f, ports, min, out)
+	return f
+}
+
+// initFlooder initializes a flooder in place, so embedding processes can
+// keep it as a struct field instead of a separate heap object.
+func initFlooder(f *flooder, ports []int, min bool, out func(int, flMsg)) {
+	*f = flooder{min: min, ports: ports, raw: out, states: make(map[int64]*flState)}
+	maxPort := -1
+	for _, p := range ports {
+		if p > maxPort {
+			maxPort = p
+		}
+	}
+	f.q.init(maxPort + 1)
 	if min {
 		f.best, f.heard = infKey, infKey
 	} else {
 		f.best, f.heard = negKey, negKey
 	}
-	return f
+}
+
+// newState slab-allocates one adoption record.
+func (f *flooder) newState(parentPort, pending int) *flState {
+	if len(f.slab) == cap(f.slab) {
+		f.slab = make([]flState, 0, 16)
+	}
+	f.slab = append(f.slab, flState{parentPort: parentPort, pending: pending})
+	return &f.slab[len(f.slab)-1]
 }
 
 // out enqueues a flood message; flush drips it onto the wire.
@@ -121,12 +180,7 @@ func (f *flooder) out(port int, m flMsg) {
 // sender (which applies any protocol tagging). The embedding process must
 // call it once per Round (after handleRound).
 func (f *flooder) flush() {
-	f.q.flush(func(port int, pl sim.Payload) {
-		m, ok := pl.(flMsg)
-		if ok {
-			f.raw(port, m)
-		}
-	}, flushRate)
+	f.q.flush(f.raw, flushRate)
 }
 
 // idle reports whether no flood traffic is queued.
@@ -149,7 +203,7 @@ func (f *flooder) start(self flKey, aux int64) {
 	f.best = self
 	f.heard = self
 	f.listLen++
-	st := &flState{parentPort: -1, pending: len(f.ports)}
+	st := f.newState(-1, len(f.ports))
 	f.states[self.origin] = st
 	for _, p := range f.ports {
 		f.out(p, flMsg{Origin: self.origin, Rank: self.rank, Aux: aux})
@@ -172,27 +226,36 @@ func (f *flooder) fold(k flKey) {
 }
 
 // handleRound processes all of this round's flood traffic. Announcements
-// are processed before echoes, best value first, so that a completion
-// decision in this round already accounts for every value that reached the
-// node.
+// are processed before echoes, best value first (ascending port on ties —
+// the same total order the previous sort.Slice call produced), so that a
+// completion decision in this round already accounts for every value that
+// reached the node. Partitioning and ordering run on reusable scratch
+// with an insertion sort: rounds with traffic allocate nothing once the
+// scratch is warm.
 func (f *flooder) handleRound(msgs []portMsg) {
-	ranks := msgs[:0:0]
-	acks := msgs[:0:0]
+	if len(msgs) == 0 {
+		return
+	}
+	ranks, acks := f.rankBuf[:0], f.ackBuf[:0]
 	for _, pm := range msgs {
 		if pm.m.Ack {
 			acks = append(acks, pm)
-		} else {
-			ranks = append(ranks, pm)
+			continue
 		}
+		a := flKey{pm.m.Rank, pm.m.Origin}
+		i := len(ranks)
+		ranks = append(ranks, pm)
+		for i > 0 {
+			b := flKey{ranks[i-1].m.Rank, ranks[i-1].m.Origin}
+			if f.better(b, a) || (a == b && ranks[i-1].port <= pm.port) {
+				break
+			}
+			ranks[i] = ranks[i-1]
+			i--
+		}
+		ranks[i] = pm
 	}
-	sort.Slice(ranks, func(i, j int) bool {
-		a := flKey{ranks[i].m.Rank, ranks[i].m.Origin}
-		b := flKey{ranks[j].m.Rank, ranks[j].m.Origin}
-		if a == b {
-			return ranks[i].port < ranks[j].port
-		}
-		return f.better(a, b)
-	})
+	f.rankBuf, f.ackBuf = ranks, acks
 	for _, pm := range ranks {
 		f.handleRank(pm.port, pm.m)
 	}
@@ -214,7 +277,7 @@ func (f *flooder) handleRank(port int, m flMsg) {
 		// Adopt: this is a new least-element (resp. greatest) entry.
 		f.best = k
 		f.listLen++
-		st := &flState{parentPort: port, pending: len(f.ports) - 1}
+		st := f.newState(port, len(f.ports)-1)
 		f.states[m.Origin] = st
 		if f.onAdopt != nil {
 			f.onAdopt(k, m.Aux)
@@ -283,4 +346,57 @@ func (f *flooder) quiescedLocally() bool {
 		}
 	}
 	return true
+}
+
+// flQueue is the flooder's drip queue: flat per-port rows of flMsg values
+// consumed flushRate per port per round in ascending port order — the
+// order the map-based portQueue produced after its per-flush sort,
+// without the sort, the interface boxing, or the per-flush allocations.
+type flQueue struct {
+	rows    [][]flMsg // indexed by real port
+	heads   []int     // per-port consumed prefix
+	pending int
+}
+
+// init pre-sizes the per-port rows for ports [0, n); push still grows the
+// queue on demand (addPort can extend the port set mid-flood).
+func (q *flQueue) init(n int) {
+	if n > 0 {
+		q.rows = make([][]flMsg, n)
+		q.heads = make([]int, n)
+	}
+}
+
+func (q *flQueue) push(port int, m flMsg) {
+	for port >= len(q.rows) {
+		q.rows = append(q.rows, nil)
+		q.heads = append(q.heads, 0)
+	}
+	q.rows[port] = append(q.rows[port], m)
+	q.pending++
+}
+
+func (q *flQueue) empty() bool { return q.pending == 0 }
+
+func (q *flQueue) flush(send func(port int, m flMsg), perRound int) {
+	if q.pending == 0 {
+		return
+	}
+	for p := range q.rows {
+		row, h := q.rows[p], q.heads[p]
+		stop := h + perRound
+		if stop > len(row) {
+			stop = len(row)
+		}
+		for ; h < stop; h++ {
+			send(p, row[h])
+			q.pending--
+		}
+		if h == len(row) {
+			q.rows[p] = row[:0]
+			q.heads[p] = 0
+		} else {
+			q.heads[p] = h
+		}
+	}
 }

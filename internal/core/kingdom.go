@@ -104,6 +104,9 @@ func (m kProbeRe) Bits() int { return 3 + kkeyBits(m.key) + kkeyBits(m.max) }
 func (m kVictor) Bits() int  { return 4 + kkeyBits(m.key) + kkeyBits(m.max) }
 func (kDone) Bits() int      { return 1 }
 
+// msgKDone is the field-less termination payload, sent as a singleton.
+var msgKDone sim.Payload = kDone{}
+
 // kState is the per-wave membership state at a node.
 type kState struct {
 	parent   int // port toward the wave's root; -1 at the root
@@ -370,7 +373,7 @@ func (p *kingdomProc) finish(c *sim.Context) {
 	}
 	if !p.doneSent {
 		p.doneSent = true
-		c.Broadcast(kDone{})
+		c.Broadcast(msgKDone)
 	}
 	p.halting = true
 	c.Halt()

@@ -41,6 +41,8 @@ type lvProc struct {
 	active    bool // any message seen or candidacy held this epoch
 	won       bool
 	wonKnown  bool
+
+	buf []portMsg // reusable per-round decode scratch
 }
 
 func (p *lvProc) Start(c *sim.Context) {
@@ -51,7 +53,7 @@ func (p *lvProc) startEpoch(c *sim.Context) {
 	d := c.Know().D
 	p.epochEnd = c.Round() + 2*d + 3
 	p.fl = newFlooder(allPorts(c.Degree()), true, func(port int, m flMsg) {
-		c.Send(port, taggedMsg{tag: tagPhaseB, m: m})
+		c.Send(port, boxTagged(tagPhaseB, m))
 	})
 	p.active = false
 	p.wonKnown = false
@@ -73,12 +75,15 @@ func (p *lvProc) startEpoch(c *sim.Context) {
 }
 
 func (p *lvProc) Round(c *sim.Context, inbox []sim.Message) {
-	var msgs []portMsg
+	msgs := p.buf[:0]
 	for _, in := range inbox {
-		if t, ok := in.Payload.(taggedMsg); ok && t.tag == tagPhaseB {
-			msgs = append(msgs, portMsg{port: in.Port, m: t.m})
+		if b, ok := in.Payload.(*taggedMsg); ok {
+			if t := unboxTagged(b); t.tag == tagPhaseB {
+				msgs = append(msgs, portMsg{port: in.Port, m: t.m})
+			}
 		}
 	}
+	p.buf = msgs
 	if len(msgs) > 0 {
 		p.active = true
 	}

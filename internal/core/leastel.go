@@ -105,10 +105,12 @@ func (l LeastEl) New(info sim.NodeInfo) sim.Process {
 type leastelProc struct {
 	kind      FKind
 	opt       Options
-	fl        *flooder
+	fl        flooder
 	candidate bool
 	me        flKey
 	decided   bool
+
+	buf []portMsg // reusable per-round decode scratch
 }
 
 func allPorts(deg int) []int {
@@ -121,8 +123,8 @@ func allPorts(deg int) []int {
 
 func (p *leastelProc) Start(c *sim.Context) {
 	n := c.Know().N // Theorem 4.4 assumes n is known
-	p.fl = newFlooder(allPorts(c.Degree()), true, func(port int, m flMsg) {
-		c.Send(port, m)
+	initFlooder(&p.fl, allPorts(c.Degree()), true, func(port int, m flMsg) {
+		c.Send(port, boxFl(m))
 	})
 	f := fValue(p.kind, n, p.opt)
 	p.candidate = c.Rand().Float64() < f/float64(n)
@@ -142,14 +144,20 @@ func (p *leastelProc) Start(c *sim.Context) {
 }
 
 func (p *leastelProc) Round(c *sim.Context, inbox []sim.Message) {
-	msgs := make([]portMsg, 0, len(inbox))
+	// Quiet round: nothing arrived and nothing is queued, so no flooder
+	// state can change and every decision check would repeat last round's.
+	if len(inbox) == 0 && p.fl.idle() {
+		return
+	}
+	msgs := p.buf[:0]
 	for _, in := range inbox {
-		m, ok := in.Payload.(flMsg)
+		b, ok := in.Payload.(*flMsg)
 		if !ok {
 			continue
 		}
-		msgs = append(msgs, portMsg{port: in.Port, m: m})
+		msgs = append(msgs, portMsg{port: in.Port, m: unboxFl(b)})
 	}
+	p.buf = msgs
 	p.fl.handleRound(msgs)
 	p.fl.flush()
 	if p.candidate && !p.decided {

@@ -139,6 +139,19 @@ func (p *Prepared) Run(ro RunOpts) (*sim.Result, error) {
 	return p.runner.Run(cfg, proto)
 }
 
+// RunInto executes one trial into *out, recycling out's slices and maps
+// across calls (see sim.Runner.RunInto). Sweep drivers that reduce each
+// result to scalars before the next trial use this to keep per-trial
+// allocation flat; the filled Result is overwritten by the next RunInto
+// with the same out.
+func (p *Prepared) RunInto(ro RunOpts, out *sim.Result) error {
+	cfg, proto, err := ro.config(p.g, p.spec)
+	if err != nil {
+		return err
+	}
+	return p.runner.RunInto(cfg, proto, out)
+}
+
 // RunMany executes the registered algorithm once per RunOpts entry on a
 // shared graph through a single Prepared instance. This is the batching
 // hook the sweep harness drives. It fails fast on the first trial error.

@@ -40,6 +40,8 @@ type spannerLEProc struct {
 	me        flKey
 	decided   bool
 	spanPorts []int
+
+	buf []portMsg // reusable per-round decode scratch
 }
 
 func (p *spannerLEProc) Start(c *sim.Context) {
@@ -61,12 +63,15 @@ func (p *spannerLEProc) Round(c *sim.Context, inbox []sim.Message) {
 		}
 		return
 	}
-	msgs := make([]portMsg, 0, len(inbox))
+	msgs := p.buf[:0]
 	for _, in := range inbox {
-		if t, ok := in.Payload.(taggedMsg); ok && t.tag == tagPhaseB {
-			msgs = append(msgs, portMsg{port: in.Port, m: t.m})
+		if b, ok := in.Payload.(*taggedMsg); ok {
+			if t := unboxTagged(b); t.tag == tagPhaseB {
+				msgs = append(msgs, portMsg{port: in.Port, m: t.m})
+			}
 		}
 	}
+	p.buf = msgs
 	p.fl.handleRound(msgs)
 	p.fl.flush()
 	if p.decided {
@@ -99,7 +104,7 @@ func (p *spannerLEProc) beginElection(c *sim.Context) {
 		ports = allPorts(c.Degree())
 	}
 	p.fl = newFlooder(ports, true, func(port int, m flMsg) {
-		c.Send(port, taggedMsg{tag: tagPhaseB, m: m})
+		c.Send(port, boxTagged(tagPhaseB, m))
 	})
 	p.me = drawKey(c, rankSpace(c.Know().N))
 	p.fl.start(p.me, 0)

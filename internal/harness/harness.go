@@ -146,7 +146,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 	start := time.Now()
 	results := make(chan TrialResult, 2*workers)
 	poolDone := make(chan struct{})
-	caches := make([]preparedCache, workers)
+	states := make([]workerState, workers)
 	go func() {
 		defer close(results)
 		runPool(total, workers, func(i, w int) {
@@ -155,10 +155,10 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 				return // consumer bailed on an emitter error
 			default:
 			}
-			if caches[w] == nil {
-				caches[w] = preparedCache{}
+			if states[w].cache == nil {
+				states[w].cache = preparedCache{}
 			}
-			results <- runTrial(p, p.trials[i], caches[w])
+			results <- runTrial(p, p.trials[i], &states[w])
 		})
 	}()
 
@@ -261,13 +261,23 @@ type preparedKey struct {
 	algo     string
 }
 
+// workerState is one pool worker's private trial machinery: the Prepared
+// cache plus a single sim.Result recycled across every trial the worker
+// runs — each trial is reduced to a TrialResult before the next one
+// overwrites it, so the O(n) statuses and instrument maps are allocated
+// once per worker rather than once per trial.
+type workerState struct {
+	cache preparedCache
+	res   sim.Result
+}
+
 // runTrial executes one trial through the worker's Prepared cache and
 // reduces the full sim.Result to the streamed record.
-func runTrial(p *plan, t Trial, cache preparedCache) TrialResult {
+func runTrial(p *plan, t Trial, ws *workerState) TrialResult {
 	g := p.graphs[t.graphIdx]
 	tr := TrialResult{Trial: t, N: g.N(), M: g.M()}
 	key := preparedKey{t.graphIdx, t.Algo}
-	prep, ok := cache[key]
+	prep, ok := ws.cache[key]
 	if !ok {
 		var err error
 		prep, err = core.Prepare(g, t.Algo)
@@ -275,12 +285,12 @@ func runTrial(p *plan, t Trial, cache preparedCache) TrialResult {
 			tr.Err = err.Error()
 			return tr
 		}
-		cache[key] = prep
+		ws.cache[key] = prep
 	}
-	return finishTrial(p, t, g, prep, tr)
+	return finishTrial(p, t, g, prep, ws, tr)
 }
 
-func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, tr TrialResult) TrialResult {
+func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, ws *workerState, tr TrialResult) TrialResult {
 	var ids []int64
 	if p.spec.SmallIDs {
 		ids = sim.PermutationIDs(g.N(), rand.New(rand.NewSource(sim.NodeSeed(t.Seed, -2))))
@@ -295,12 +305,13 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, tr Trial
 		Opt:       p.spec.Opt,
 	}
 	start := time.Now()
-	res, err := prep.Run(ro)
+	err := prep.RunInto(ro, &ws.res)
 	tr.elapsed = time.Since(start)
 	if err != nil {
 		tr.Err = err.Error()
 		return tr
 	}
+	res := &ws.res
 	if prep.Spec().NeedsD {
 		tr.D = g.DiameterExact()
 	}

@@ -1,0 +1,48 @@
+// Message arena: the zero-allocation containers of the engine's hot path.
+//
+// Outboxes are flat per-node rows of outMsg values in send order, backed
+// by arrays that the Runner owns and recycles — after warm-up a round of
+// traffic performs no allocation. Payload.Bits() is evaluated exactly once,
+// at send time, and cached in the outMsg / delivery records, so neither the
+// CONGEST cap check nor the delivery accounting re-dispatches through the
+// Payload interface. Per-port bookkeeping (send caps, reverse ports, async
+// link sequence numbers) lives in flat arrays indexed by off[u]+port.
+//
+// The inbox ordering contract — ascending receiving port, per-link send
+// order preserved within a port — is enforced by a stable insertion sort
+// over the row instead of sort.SliceStable: inbox rows are short and
+// nearly sorted, and the reflect-based sorts allocate on every call, which
+// previously dominated the per-round allocation profile.
+package sim
+
+import "slices"
+
+// outMsg is one queued send. The receiving-side coordinates are resolved
+// when the row is flushed into delivery events.
+type outMsg struct {
+	port int32 // sending port
+	bits int32 // cached Payload.Bits() from send time
+	pl   Payload
+}
+
+// sortInboxByPort stably sorts an inbox row by ascending receiving port.
+// Typical rows are short and nearly sorted (synchronous senders flush in
+// ascending node order), where insertion sort wins; long rows — a
+// high-degree receiver in ASYNC mode collecting deliveries in delay
+// order — fall back to a stable O(k log k) sort. Both paths allocate
+// nothing.
+func sortInboxByPort(in []Message) {
+	if len(in) > 32 {
+		slices.SortStableFunc(in, func(a, b Message) int { return a.Port - b.Port })
+		return
+	}
+	for i := 1; i < len(in); i++ {
+		m := in[i]
+		j := i - 1
+		for j >= 0 && in[j].Port > m.Port {
+			in[j+1] = in[j]
+			j--
+		}
+		in[j+1] = m
+	}
+}

@@ -3,10 +3,11 @@
 // Instead of scanning every node in every round (the legacy dense loop,
 // kept in run.go behind Config.DenseLoop), the engine keeps a pending-event
 // queue of message deliveries and timer wake-ups, bucketed by virtual-time
-// tick, and steps only the nodes an event touches. Sleeping and halted
-// nodes cost zero work per tick, which is what makes sparse-activity
-// workloads (adversarial wake-up, late quiet phases) cheap; quiescence
-// detection is O(1) per tick via counters instead of O(n) scans.
+// tick on a timing wheel (wheel.go), and steps only the nodes an event
+// touches. Sleeping and halted nodes cost zero work per tick, which is
+// what makes sparse-activity workloads (adversarial wake-up, late quiet
+// phases) cheap; quiescence detection is O(1) per tick via counters
+// instead of O(n) scans.
 //
 // In the synchronous modes (CONGEST/LOCAL) every awake node carries an
 // implicit per-round timer — protocols may count rounds while silent — so
@@ -20,10 +21,12 @@ package sim
 
 import "sort"
 
-// delivery is one scheduled message arrival.
+// delivery is one scheduled message arrival. bits caches the payload's
+// send-time Bits() so delivery accounting never touches the interface.
 type delivery struct {
-	to   int // receiving node
-	port int // receiving port
+	to   int32 // receiving node
+	port int32 // receiving port
+	bits int32 // cached payload size
 	pl   Payload
 }
 
@@ -50,9 +53,7 @@ func (b *tickBucket) clear() {
 
 // evScratch is the reusable event-engine state owned by a Runner.
 type evScratch struct {
-	buckets map[int]*tickBucket
-	heap    []int // min-heap of ticks with a live bucket
-	free    []*tickBucket
+	wheel *timingWheel
 
 	active   []int // sorted awake node ids (synchronous modes)
 	stepSet  []int
@@ -60,92 +61,28 @@ type evScratch struct {
 	wake     []int // wake candidates this tick
 	mergeBuf []int
 
-	linkSeq     [][]int // per (node, port) message sequence numbers (ASYNC)
+	linkSeq     []int32 // flat per (node, port) message sequence numbers (ASYNC)
 	wakeAt      []int   // per-node pending RequestWake target tick (0 = none)
 	haltCounted []bool  // per-node: halt already merged into the counters
 }
 
-func newEvScratch(n int, degree func(int) int) *evScratch {
-	sc := &evScratch{
-		buckets:     make(map[int]*tickBucket),
-		linkSeq:     make([][]int, n),
+func newEvScratch(n, ports int) *evScratch {
+	return &evScratch{
+		wheel:       newTimingWheel(),
+		linkSeq:     make([]int32, ports),
 		wakeAt:      make([]int, n),
 		haltCounted: make([]bool, n),
 	}
-	for u := 0; u < n; u++ {
-		sc.linkSeq[u] = make([]int, degree(u))
-	}
-	return sc
 }
 
-// reset clears every per-run field; per-node rows (linkSeq, wakeAt,
-// haltCounted) are cleared by the Runner's per-node reset loop.
+// reset clears every per-run field. The flat per-port and per-node rows
+// (linkSeq, wakeAt, haltCounted) are cleared by the Runner's reset.
 func (sc *evScratch) reset() {
-	for t, b := range sc.buckets {
-		b.clear()
-		sc.free = append(sc.free, b)
-		delete(sc.buckets, t)
-	}
-	sc.heap = sc.heap[:0]
+	sc.wheel.reset()
 	sc.active = sc.active[:0]
 	sc.stepSet = sc.stepSet[:0]
 	sc.recv = sc.recv[:0]
 	sc.wake = sc.wake[:0]
-}
-
-// bucketAt returns (creating if needed) the event bucket of tick t.
-func (e *engine) bucketAt(t int) *tickBucket {
-	sc := e.ev
-	if b, ok := sc.buckets[t]; ok {
-		return b
-	}
-	var b *tickBucket
-	if k := len(sc.free); k > 0 {
-		b, sc.free = sc.free[k-1], sc.free[:k-1]
-	} else {
-		b = &tickBucket{}
-	}
-	sc.buckets[t] = b
-	e.heapPush(t)
-	return b
-}
-
-func (e *engine) heapPush(t int) {
-	h := append(e.ev.heap, t)
-	for i := len(h) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if h[parent] <= h[i] {
-			break
-		}
-		h[parent], h[i] = h[i], h[parent]
-		i = parent
-	}
-	e.ev.heap = h
-}
-
-// heapPopMin removes the minimum tick (callers only pop the tick they are
-// about to process).
-func (e *engine) heapPopMin() {
-	h := e.ev.heap
-	last := len(h) - 1
-	h[0] = h[last]
-	h = h[:last]
-	for i := 0; ; {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h[l] < h[small] {
-			small = l
-		}
-		if r < last && h[r] < h[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
-	}
-	e.ev.heap = h
 }
 
 // wakeRound returns node u's configured spontaneous wake round (1 when no
@@ -160,16 +97,17 @@ func (e *engine) wakeRound(u int) int {
 // loopEvent is the event-driven main loop.
 func (e *engine) loopEvent(maxRounds int) {
 	n := e.g.N()
+	w := e.ev.wheel
 	e.crossed = len(e.watch) == 0
 
 	// Spontaneous wake-ups become timer events. Wakes past the round cap
 	// can never fire (the dense loop never reaches them either).
 	if e.cfg.Wake == nil {
-		e.bucketAt(1).wakeAll = true
+		w.at(1).wakeAll = true
 	} else {
 		for u := 0; u < n; u++ {
-			if w := e.cfg.Wake[u]; w > 0 && w <= maxRounds {
-				b := e.bucketAt(w)
+			if wr := e.cfg.Wake[u]; wr > 0 && wr <= maxRounds {
+				b := w.at(wr)
 				b.wakes = append(b.wakes, u)
 			}
 		}
@@ -190,8 +128,8 @@ func (e *engine) loopEvent(maxRounds int) {
 			// Synchronous semantics: awake nodes are stepped every round,
 			// so virtual time cannot skip ahead.
 			next = t + 1
-		case len(e.ev.heap) > 0:
-			next = e.ev.heap[0]
+		case !w.empty():
+			next = w.minTick()
 		default:
 			// Nothing in flight, nothing scheduled, nobody running: the
 			// network is dead. A network dead on arrival still "runs" its
@@ -217,7 +155,7 @@ func (e *engine) loopEvent(maxRounds int) {
 				e.res.Rounds = t
 				return
 			}
-			if e.numRunning == 0 && len(e.ev.heap) == 0 {
+			if e.numRunning == 0 && w.empty() {
 				// Only never-woken sleepers remain and no event is queued.
 				e.res.Rounds = t
 				return
@@ -230,16 +168,17 @@ func (e *engine) loopEvent(maxRounds int) {
 	}
 }
 
-// pruneDeadEvents pops heap-min buckets that no longer hold any live
+// pruneDeadEvents drops minimum-tick buckets that no longer hold any live
 // event. A delivery is always live; a scheduled wake-up is live while
 // its node still sleeps; a timer is live for a non-halted node in ASYNC
 // mode (in the synchronous modes timers are no-ops — awake nodes step
 // every round anyway). Liveness only ever decays, so a discarded bucket
 // could never have done anything.
 func (e *engine) pruneDeadEvents() {
-	sc := e.ev
-	for len(sc.heap) > 0 {
-		b := sc.buckets[sc.heap[0]]
+	w := e.ev.wheel
+	for !w.empty() {
+		t := w.minTick()
+		b := w.peek(t)
 		if len(b.deliveries) > 0 || b.wakeAll {
 			return
 		}
@@ -255,10 +194,7 @@ func (e *engine) pruneDeadEvents() {
 				}
 			}
 		}
-		delete(sc.buckets, sc.heap[0])
-		e.heapPopMin()
-		b.clear()
-		sc.free = append(sc.free, b)
+		w.drop(t)
 	}
 }
 
@@ -283,10 +219,9 @@ func (e *engine) tick(t int) {
 		sc.stepSet = sc.stepSet[:0]
 	}
 
-	b := sc.buckets[t]
+	sc.wheel.advance(t)
+	b := sc.wheel.takeCurrent(t)
 	if b != nil {
-		delete(sc.buckets, t)
-		e.heapPopMin()
 		e.deliver(b.deliveries, t)
 		// Scheduled wake-ups rouse sleepers; a wake for a node that a
 		// message woke earlier is dead.
@@ -313,7 +248,6 @@ func (e *engine) tick(t int) {
 			}
 		}
 		b.clear()
-		sc.free = append(sc.free, b)
 	}
 	// Deliveries wake sleeping receivers.
 	for _, v := range sc.recv {
@@ -377,7 +311,7 @@ func (e *engine) tick(t int) {
 	}
 
 	// Step phase.
-	if e.cfg.Parallel {
+	if e.pool != nil {
 		e.stepListParallel(step)
 	} else {
 		for _, u := range step {
@@ -401,22 +335,23 @@ func (e *engine) tick(t int) {
 
 // deliver applies one tick's message arrivals: inbox building, sorting,
 // and the full accounting (totals, per-edge counts, watched crossings) at
-// delivery time, exactly like the dense loop's phase 1.
+// delivery time, exactly like the dense loop's phase 1. Payload sizes
+// come from the send-time cache in the delivery records.
 func (e *engine) deliver(ds []delivery, t int) {
 	sc := e.ev
 	for _, d := range ds {
-		v := d.to
+		v := int(d.to)
 		if len(e.inbox[v]) == 0 {
 			sc.recv = append(sc.recv, v)
 		}
-		e.inbox[v] = append(e.inbox[v], Message{Port: d.port, Payload: d.pl})
-		bits := d.pl.Bits()
+		e.inbox[v] = append(e.inbox[v], Message{Port: int(d.port), Payload: d.pl})
+		bits := int(d.bits)
 		e.res.Bits += int64(bits)
 		if bits > e.res.MaxMsgBits {
 			e.res.MaxMsgBits = bits
 		}
 		if e.perEdge != nil || e.watch != nil {
-			key := normPair(v, e.g.Neighbor(v, d.port))
+			key := normPair(v, e.g.Neighbor(v, int(d.port)))
 			if e.perEdge != nil {
 				e.perEdge[key]++
 			}
@@ -439,8 +374,7 @@ func (e *engine) deliver(ds []delivery, t int) {
 	// Deterministic inbox order: ascending receiving port, preserving
 	// per-link send order within a port.
 	for _, v := range sc.recv {
-		in := e.inbox[v]
-		sort.SliceStable(in, func(i, j int) bool { return in[i].Port < in[j].Port })
+		sortInboxByPort(e.inbox[v])
 	}
 }
 
@@ -449,6 +383,7 @@ func (e *engine) deliver(ds []delivery, t int) {
 // overlapping lists: every merge is guarded or self-clearing.
 func (e *engine) mergeAndFlush(list []int, t int) {
 	sc := e.ev
+	w := sc.wheel
 	for _, u := range list {
 		if e.nodeErr[u] != nil && e.err == nil {
 			e.err = e.nodeErr[u]
@@ -468,38 +403,45 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 				at = t + 1
 			}
 			if at <= e.maxTick {
-				bw := e.bucketAt(at)
+				bw := w.at(at)
 				bw.timers = append(bw.timers, u)
 			}
 		}
-		ob := e.outbox[u]
-		for p := range ob {
-			pls := ob[p]
-			if len(pls) == 0 {
-				continue
-			}
-			v := e.g.Neighbor(u, p)
-			back := e.portBack[u][p]
-			if e.async {
-				seq := sc.linkSeq[u][p]
-				for k, pl := range pls {
-					d := e.delay.Delay(e.cfg.Seed, u, p, seq+k)
-					if d < 1 {
-						d = 1 // a custom schedule must not move time backwards
-					}
-					db := e.bucketAt(t + d)
-					db.deliveries = append(db.deliveries, delivery{to: v, port: back, pl: pl})
-				}
-				sc.linkSeq[u][p] = seq + len(pls)
-			} else {
-				db := e.bucketAt(t + 1)
-				for _, pl := range pls {
-					db.deliveries = append(db.deliveries, delivery{to: v, port: back, pl: pl})
-				}
-			}
-			e.pendingMsgs += len(pls)
-			ob[p] = pls[:0]
+		ob := e.out[u]
+		if len(ob) == 0 {
+			continue
 		}
+		base := e.off[u]
+		if e.async {
+			for _, m := range ob {
+				p := int(m.port)
+				seq := sc.linkSeq[base+p]
+				sc.linkSeq[base+p] = seq + 1
+				d := e.delay.Delay(e.cfg.Seed, u, p, int(seq))
+				if d < 1 {
+					d = 1 // a custom schedule must not move time backwards
+				}
+				db := w.at(t + d)
+				db.deliveries = append(db.deliveries, delivery{
+					to: int32(e.g.Neighbor(u, p)), port: int32(e.portBack[base+p]), bits: m.bits, pl: m.pl,
+				})
+			}
+		} else {
+			db := w.at(t + 1)
+			for _, m := range ob {
+				p := int(m.port)
+				db.deliveries = append(db.deliveries, delivery{
+					to: int32(e.g.Neighbor(u, p)), port: int32(e.portBack[base+p]), bits: m.bits, pl: m.pl,
+				})
+			}
+		}
+		e.pendingMsgs += len(ob)
+		if e.sendCap > 0 {
+			for _, m := range ob {
+				e.sendCnt[base+int(m.port)] = 0
+			}
+		}
+		e.out[u] = ob[:0]
 	}
 }
 
@@ -524,11 +466,11 @@ func mergeSorted(a, b []int, buf *[]int) []int {
 	return out
 }
 
-// stepListParallel runs one tick's node steps on a worker pool. Each
-// node's step touches only its own state, so this is race-free and
+// stepListParallel runs one tick's node steps on the run's worker pool.
+// Each node's step touches only its own state, so this is race-free and
 // produces exactly the sequential results.
 func (e *engine) stepListParallel(list []int) {
-	runParallelSteps(len(list), func(i int) {
+	e.pool.run(len(list), func(i int) {
 		u := list[i]
 		e.procs[u].Round(&e.ctxs[u], e.inbox[u])
 	})

@@ -1,0 +1,92 @@
+// Parallel stepper: the worker pool behind Config.Parallel.
+//
+// One pool is started per parallel run and reused for every tick, so the
+// engine no longer spawns goroutines (or contends on a mutex-guarded work
+// cursor) once per round. Each tick's step set is partitioned into
+// contiguous shards, one per worker; a node step writes only node-private
+// state (its outbox row, send counters, status/error/timer slots), so
+// shards share no mutable state and need no synchronization beyond the
+// end-of-tick barrier. The engine's merge phase then folds per-node
+// scratch sequentially in step-list order — the same order the sequential
+// runner uses — which keeps results byte-identical for every worker count.
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minShard is the smallest per-worker shard worth the coordination: step
+// sets below 2*minShard always run inline, and runs on graphs that small
+// skip pool creation entirely.
+const minShard = 16
+
+// stepPool runs index-sharded jobs on workers-1 persistent goroutines
+// plus the calling goroutine.
+type stepPool struct {
+	workers int
+	jobs    []chan stepJob
+}
+
+// stepJob is one shard: indices [lo, hi) of the current step set.
+type stepJob struct {
+	lo, hi int
+	run    func(i int)
+	done   *sync.WaitGroup
+}
+
+func newStepPool() *stepPool {
+	p := &stepPool{workers: runtime.GOMAXPROCS(0)}
+	for i := 1; i < p.workers; i++ {
+		ch := make(chan stepJob, 1)
+		p.jobs = append(p.jobs, ch)
+		go func() {
+			for j := range ch {
+				for i := j.lo; i < j.hi; i++ {
+					j.run(i)
+				}
+				j.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// close releases the pool's goroutines (idempotent is not required; the
+// engine closes exactly once per run).
+func (p *stepPool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// run calls step(i) for every i in [0, count), sharding across the pool
+// when the set is large enough to pay for the coordination. Small sets
+// run inline: correctness never depends on which path is taken.
+func (p *stepPool) run(count int, step func(i int)) {
+	shards := p.workers
+	if m := count / minShard; shards > m {
+		shards = m
+	}
+	if shards <= 1 {
+		for i := 0; i < count; i++ {
+			step(i)
+		}
+		return
+	}
+	size := (count + shards - 1) / shards
+	var done sync.WaitGroup
+	done.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		lo := s * size
+		hi := lo + size
+		if hi > count {
+			hi = count
+		}
+		p.jobs[s-1] <- stepJob{lo: lo, hi: hi, run: step, done: &done}
+	}
+	for i := 0; i < size; i++ {
+		step(i)
+	}
+	done.Wait()
+}

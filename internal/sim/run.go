@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
 
 	"ule/internal/graph"
 )
@@ -37,18 +34,21 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 
 // Runner executes runs on one fixed graph, reusing the engine state that
 // depends only on the topology (reverse-port tables) and the per-node
-// scratch buffers (outboxes, inboxes, status vectors, RNGs) across runs.
-// For sweep workloads this removes almost all per-trial allocation; a
-// Runner is NOT safe for concurrent use — give each worker its own.
+// scratch buffers (outbox arenas, inboxes, status vectors, RNGs) across
+// runs. For sweep workloads this removes almost all per-trial allocation;
+// a Runner is NOT safe for concurrent use — give each worker its own.
 type Runner struct {
 	g *graph.Graph
 
-	// portBack[u][p] is the port at Neighbor(u,p) leading back to u.
-	// Purely topological, computed once.
-	portBack [][]int
+	// Flat per-(node, port) tables, indexed by off[u]+p. portBack[off[u]+p]
+	// is the port at Neighbor(u,p) leading back to u — purely topological,
+	// computed once. sendCnt carries the per-round per-port send counts.
+	off      []int
+	portBack []int
+	sendCnt  []int32
 
 	// Reusable per-node scratch, reset at the start of every run.
-	outbox  [][][]Payload
+	out     [][]outMsg
 	inbox   [][]Message
 	status  []Status
 	halted  []bool
@@ -59,8 +59,16 @@ type Runner struct {
 	ctxs    []Context
 	rngs    []*rand.Rand
 
-	// Reusable event-engine state (queue buckets, heap, active lists).
+	// Reusable event-engine state (timing wheel, active lists).
 	ev *evScratch
+
+	// Lazily-built validation/instrument scratch, recycled across runs.
+	idSeen map[int64]struct{}
+	watch  map[[2]int]bool
+
+	// eng is the engine shell reused across runs (its pointers are re-wired
+	// per run; no allocation).
+	eng engine
 }
 
 // NewRunner validates the graph and precomputes the reusable engine state.
@@ -70,69 +78,92 @@ func NewRunner(g *graph.Graph) (*Runner, error) {
 	}
 	n := g.N()
 	r := &Runner{
-		g:        g,
-		portBack: make([][]int, n),
-		outbox:   make([][][]Payload, n),
-		inbox:    make([][]Message, n),
-		status:   make([]Status, n),
-		halted:   make([]bool, n),
-		awake:    make([]bool, n),
-		changed:  make([]bool, n),
-		nodeErr:  make([]error, n),
-		procs:    make([]Process, n),
-		ctxs:     make([]Context, n),
-		rngs:     make([]*rand.Rand, n),
+		g:       g,
+		off:     make([]int, n+1),
+		out:     make([][]outMsg, n),
+		inbox:   make([][]Message, n),
+		status:  make([]Status, n),
+		halted:  make([]bool, n),
+		awake:   make([]bool, n),
+		changed: make([]bool, n),
+		nodeErr: make([]error, n),
+		procs:   make([]Process, n),
+		ctxs:    make([]Context, n),
+		rngs:    make([]*rand.Rand, n),
 	}
+	ports := 0
+	for u := 0; u < n; u++ {
+		r.off[u] = ports
+		ports += g.Degree(u)
+	}
+	r.off[n] = ports
+	r.portBack = make([]int, ports)
+	r.sendCnt = make([]int32, ports)
 	for u := 0; u < n; u++ {
 		deg := g.Degree(u)
-		r.portBack[u] = make([]int, deg)
 		for p := 0; p < deg; p++ {
 			v := g.Neighbor(u, p)
 			back := g.PortTo(v, u)
 			if back < 0 {
 				return nil, fmt.Errorf("%w: asymmetric adjacency at (%d,%d)", ErrConfig, u, v)
 			}
-			r.portBack[u][p] = back
+			r.portBack[r.off[u]+p] = back
 		}
-		r.outbox[u] = make([][]Payload, deg)
-		r.rngs[u] = rand.New(rand.NewSource(0))
 	}
-	r.ev = newEvScratch(n, g.Degree)
+	r.ev = newEvScratch(n, ports)
 	return r, nil
 }
 
 // Run executes one protocol run. cfg.Graph must be nil or the Runner's own
 // graph. The returned Result does not alias the Runner's reusable state.
 func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
+	res := new(Result)
+	if err := r.RunInto(cfg, p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto executes one protocol run like Run, writing the summary into
+// *out and recycling out's slices and maps — a sweep driver that reuses
+// one Result across trials keeps steady-state allocation at zero. On
+// error *out holds unspecified intermediate state. The filled Result is
+// owned by the caller (it does not alias Runner state), but is
+// overwritten by the next RunInto with the same out.
+func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 	g := r.g
 	if cfg.Graph != nil && cfg.Graph != g {
-		return nil, fmt.Errorf("%w: Runner bound to a different graph", ErrConfig)
+		return fmt.Errorf("%w: Runner bound to a different graph", ErrConfig)
 	}
 	cfg.Graph = g
 	n := g.N()
 	if cfg.IDs != nil {
 		if len(cfg.IDs) != n {
-			return nil, fmt.Errorf("%w: len(IDs)=%d want %d", ErrConfig, len(cfg.IDs), n)
+			return fmt.Errorf("%w: len(IDs)=%d want %d", ErrConfig, len(cfg.IDs), n)
 		}
-		seen := make(map[int64]bool, n)
+		if r.idSeen == nil {
+			r.idSeen = make(map[int64]struct{}, n)
+		} else {
+			clear(r.idSeen)
+		}
 		for _, id := range cfg.IDs {
-			if seen[id] {
-				return nil, fmt.Errorf("%w: duplicate ID %d", ErrConfig, id)
+			if _, dup := r.idSeen[id]; dup {
+				return fmt.Errorf("%w: duplicate ID %d", ErrConfig, id)
 			}
-			seen[id] = true
+			r.idSeen[id] = struct{}{}
 		}
 	}
 	if cfg.Wake != nil && len(cfg.Wake) != n {
-		return nil, fmt.Errorf("%w: len(Wake)=%d want %d", ErrConfig, len(cfg.Wake), n)
+		return fmt.Errorf("%w: len(Wake)=%d want %d", ErrConfig, len(cfg.Wake), n)
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = CONGEST
 	}
 	if cfg.Delay != nil && cfg.Mode != ASYNC {
-		return nil, fmt.Errorf("%w: delay schedules require ASYNC mode", ErrConfig)
+		return fmt.Errorf("%w: delay schedules require ASYNC mode", ErrConfig)
 	}
 	if cfg.DenseLoop && cfg.Mode == ASYNC {
-		return nil, fmt.Errorf("%w: the dense loop cannot run the ASYNC model", ErrConfig)
+		return fmt.Errorf("%w: the dense loop cannot run the ASYNC model", ErrConfig)
 	}
 	if cfg.Mode == ASYNC && cfg.Delay == nil {
 		cfg.Delay = UnitDelay()
@@ -154,11 +185,22 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 		}
 	}
 
-	// Reset the reusable scratch and wire it into a fresh engine shell.
-	e := &engine{
+	// Reset the result shell, recycling its slices and maps.
+	*out = Result{
+		Statuses:      out.Statuses[:0],
+		Leaders:       out.Leaders[:0],
+		FirstCrossing: out.FirstCrossing,
+		PerEdge:       out.PerEdge,
+	}
+
+	// Reset the reusable scratch and wire it into the engine shell.
+	e := &r.eng
+	*e = engine{
 		cfg: cfg, g: g, bitCap: bitCap, sendCap: sendCap,
+		off:      r.off,
 		portBack: r.portBack,
-		outbox:   r.outbox,
+		sendCnt:  r.sendCnt,
+		out:      r.out,
 		inbox:    r.inbox,
 		status:   r.status,
 		halted:   r.halted,
@@ -167,25 +209,30 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 		nodeErr:  r.nodeErr,
 		procs:    r.procs,
 		ctxs:     r.ctxs,
+		rngs:     r.rngs,
+		res:      out,
 	}
 	if !cfg.DenseLoop {
 		r.ev.reset()
 		e.ev = r.ev
 		e.async = cfg.Mode == ASYNC
 		e.delay = cfg.Delay
+		for i := range r.ev.linkSeq {
+			r.ev.linkSeq[i] = 0
+		}
+		for i := range r.ev.wakeAt {
+			r.ev.wakeAt[i] = 0
+		}
+		for i := range r.ev.haltCounted {
+			r.ev.haltCounted[i] = false
+		}
+	}
+	for i := range r.sendCnt {
+		r.sendCnt[i] = 0
 	}
 	for u := 0; u < n; u++ {
-		for pt := range e.outbox[u] {
-			e.outbox[u][pt] = e.outbox[u][pt][:0]
-		}
+		e.out[u] = e.out[u][:0]
 		e.inbox[u] = e.inbox[u][:0]
-		if e.ev != nil {
-			for pt := range e.ev.linkSeq[u] {
-				e.ev.linkSeq[u][pt] = 0
-			}
-			e.ev.wakeAt[u] = 0
-			e.ev.haltCounted[u] = false
-		}
 		e.status[u] = Undecided
 		e.halted[u] = false
 		e.awake[u] = false
@@ -199,21 +246,47 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 		}
 		info := NodeInfo{ID: id, HasID: hasID, Degree: g.Degree(u), Know: cfg.Know}
 		e.procs[u] = p.New(info)
-		// Reseeding restores the exact state of a freshly constructed
-		// rand.New(rand.NewSource(seed)), so reuse is invisible to runs.
-		r.rngs[u].Seed(NodeSeed(cfg.Seed, u))
+		// The RNG is built and seeded lazily on the node's first Rand()
+		// call (see Context.Rand); r.rngs[u] is nil until then.
 		e.ctxs[u] = Context{eng: e, node: u, info: info, rng: r.rngs[u]}
 	}
 	if len(cfg.WatchEdges) > 0 {
-		e.watch = make(map[[2]int]bool, len(cfg.WatchEdges))
-		e.res.FirstCrossing = make(map[[2]int]int, len(cfg.WatchEdges))
+		if r.watch == nil {
+			r.watch = make(map[[2]int]bool, len(cfg.WatchEdges))
+		} else {
+			clear(r.watch)
+		}
+		e.watch = r.watch
+		if out.FirstCrossing == nil {
+			out.FirstCrossing = make(map[[2]int]int, len(cfg.WatchEdges))
+		} else {
+			clear(out.FirstCrossing)
+		}
 		for _, w := range cfg.WatchEdges {
 			e.watch[normPair(w[0], w[1])] = true
 		}
+	} else {
+		out.FirstCrossing = nil
 	}
 	if cfg.CountPerEdge {
-		e.perEdge = make(map[[2]int]int64)
-		e.res.PerEdge = e.perEdge
+		if out.PerEdge == nil {
+			out.PerEdge = make(map[[2]int]int64)
+		} else {
+			clear(out.PerEdge)
+		}
+		e.perEdge = out.PerEdge
+	} else {
+		out.PerEdge = nil
+	}
+
+	// A pool only ever shards step sets of >= 2*minShard nodes, so tiny
+	// graphs run sequentially rather than paying per-run goroutine churn.
+	if cfg.Parallel && n >= 2*minShard {
+		e.pool = newStepPool()
+		defer func() {
+			e.pool.close()
+			e.pool = nil
+		}()
 	}
 
 	if cfg.DenseLoop {
@@ -223,23 +296,22 @@ func (r *Runner) Run(cfg Config, p Protocol) (*Result, error) {
 		e.loopEvent(maxRounds)
 	}
 	if e.err != nil {
-		return nil, e.err
+		return e.err
 	}
-	e.res.Statuses = append([]Status(nil), e.status...)
+	out.Statuses = append(out.Statuses[:0], e.status...)
 	for u, s := range e.status {
 		if s == Leader {
-			e.res.Leaders = append(e.res.Leaders, u)
+			out.Leaders = append(out.Leaders, u)
 		}
 	}
-	e.res.Halted = true
+	out.Halted = true
 	for _, h := range e.halted {
 		if !h {
-			e.res.Halted = false
+			out.Halted = false
 			break
 		}
 	}
-	res := e.res
-	return &res, nil
+	return nil
 }
 
 func normPair(u, v int) [2]int {
@@ -263,21 +335,23 @@ func (e *engine) loopDense(maxRounds int) {
 			e.inbox[u] = e.inbox[u][:0]
 		}
 		for u := 0; u < n; u++ {
-			for p, pls := range e.outbox[u] {
-				if len(pls) == 0 {
-					continue
-				}
+			ob := e.out[u]
+			if len(ob) == 0 {
+				continue
+			}
+			base := e.off[u]
+			for _, m := range ob {
+				p := int(m.port)
 				v := e.g.Neighbor(u, p)
-				back := e.portBack[u][p]
-				key := normPair(u, v)
-				for _, pl := range pls {
-					e.inbox[v] = append(e.inbox[v], Message{Port: back, Payload: pl})
-					sentThisDelivery++
-					b := pl.Bits()
-					e.res.Bits += int64(b)
-					if b > e.res.MaxMsgBits {
-						e.res.MaxMsgBits = b
-					}
+				e.inbox[v] = append(e.inbox[v], Message{Port: e.portBack[base+p], Payload: m.pl})
+				sentThisDelivery++
+				b := int(m.bits)
+				e.res.Bits += int64(b)
+				if b > e.res.MaxMsgBits {
+					e.res.MaxMsgBits = b
+				}
+				if e.perEdge != nil || e.watch != nil {
+					key := normPair(u, v)
 					if e.perEdge != nil {
 						e.perEdge[key]++
 					}
@@ -288,8 +362,13 @@ func (e *engine) loopDense(maxRounds int) {
 						crossed = true
 					}
 				}
-				e.outbox[u][p] = e.outbox[u][p][:0]
 			}
+			if e.sendCap > 0 {
+				for _, m := range ob {
+					e.sendCnt[base+int(m.port)] = 0
+				}
+			}
+			e.out[u] = ob[:0]
 		}
 		if sentThisDelivery > 0 {
 			e.res.LastActive = e.round
@@ -303,8 +382,7 @@ func (e *engine) loopDense(maxRounds int) {
 		// Deterministic inbox order: ascending receiving port, preserving
 		// the sender's send order within a port.
 		for u := 0; u < n; u++ {
-			in := e.inbox[u]
-			sort.SliceStable(in, func(i, j int) bool { return in[i].Port < in[j].Port })
+			sortInboxByPort(e.inbox[u])
 		}
 
 		// Phase 2: wake-ups. A sleeper whose scheduled wake round is still
@@ -335,7 +413,7 @@ func (e *engine) loopDense(maxRounds int) {
 		}
 
 		// Phase 3: run the round on all awake, non-halted nodes.
-		if e.cfg.Parallel {
+		if e.pool != nil {
 			e.stepParallel()
 		} else {
 			for u := 0; u < n; u++ {
@@ -360,12 +438,10 @@ func (e *engine) loopDense(maxRounds int) {
 
 		// Phase 4: stopping conditions.
 		pending := false
-		for u := 0; u < n && !pending; u++ {
-			for _, pls := range e.outbox[u] {
-				if len(pls) > 0 {
-					pending = true
-					break
-				}
+		for u := 0; u < n; u++ {
+			if len(e.out[u]) > 0 {
+				pending = true
+				break
 			}
 		}
 		allHalted := true
@@ -407,57 +483,13 @@ func (e *engine) loopDense(maxRounds int) {
 	e.res.HitRoundCap = true
 }
 
-// stepParallel runs one dense round's node steps on a worker pool. Each
-// node's step touches only its own state and its own outbox row, so this
-// is race-free and produces exactly the sequential results.
+// stepParallel runs one dense round's node steps on the run's worker
+// pool. Each node's step touches only its own state and its own outbox
+// row, so this is race-free and produces exactly the sequential results.
 func (e *engine) stepParallel() {
-	runParallelSteps(e.g.N(), func(u int) {
+	e.pool.run(e.g.N(), func(u int) {
 		if e.awake[u] && !e.halted[u] {
 			e.procs[u].Round(&e.ctxs[u], e.inbox[u])
 		}
 	})
-}
-
-// runParallelSteps calls step(i) for every i in [0, count) from a chunked
-// worker pool (or inline when a pool is not worth spinning up).
-func runParallelSteps(count int, step func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > count {
-		workers = count
-	}
-	if workers <= 1 {
-		for i := 0; i < count; i++ {
-			step(i)
-		}
-		return
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-	)
-	const chunk = 64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				lo := next
-				next += chunk
-				mu.Unlock()
-				if lo >= count {
-					return
-				}
-				hi := lo + chunk
-				if hi > count {
-					hi = count
-				}
-				for i := lo; i < hi; i++ {
-					step(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -143,6 +143,7 @@ type Context struct {
 	info NodeInfo
 	rng  *rand.Rand
 
+	rngReady    bool // rng has been (re)seeded for this run
 	spontaneous bool
 }
 
@@ -176,8 +177,24 @@ func (c *Context) RequestWake(delta int) {
 }
 
 // Rand returns the node's private source of unbiased coins. It is
-// deterministic given the run seed and the node index.
-func (c *Context) Rand() *rand.Rand { return c.rng }
+// deterministic given the run seed and the node index. The underlying
+// generator is built and seeded on first use: initializing one costs more
+// than an entire node-round, so nodes of coin-free protocols never pay
+// for it, and a reused Runner reseeds (never reallocates) it — reseeding
+// restores the exact state of a freshly constructed
+// rand.New(rand.NewSource(seed)), so reuse is invisible to runs.
+func (c *Context) Rand() *rand.Rand {
+	if !c.rngReady {
+		c.rngReady = true
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewSource(NodeSeed(c.eng.cfg.Seed, c.node)))
+			c.eng.rngs[c.node] = c.rng // keep for reuse across runs
+		} else {
+			c.rng.Seed(NodeSeed(c.eng.cfg.Seed, c.node))
+		}
+	}
+	return c.rng
+}
 
 // SpontaneousWake reports whether the node woke by schedule (true) or by
 // receiving a message (false). Only meaningful during Start.
@@ -329,11 +346,17 @@ type engine struct {
 	g     *graph.Graph
 	round int
 
-	// portBack[u][p] is the port at Neighbor(u,p) leading back to u.
-	portBack [][]int
+	// Flat per-(node, port) tables, indexed by off[u]+p (see arena.go).
+	// off[u] is the first port slot of node u; portBack holds the port at
+	// Neighbor(u,p) leading back to u; sendCnt counts this round's sends
+	// through each port for the per-port cap.
+	off      []int
+	portBack []int
+	sendCnt  []int32
 
-	// outbox[u][p] collects the payloads u sends via p this round.
-	outbox [][][]Payload
+	// out[u] is u's outbox row: this round's sends in send order, with
+	// Bits() cached (see arena.go).
+	out [][]outMsg
 	// inbox[u] holds the messages delivered to u this round.
 	inbox [][]Message
 
@@ -344,6 +367,7 @@ type engine struct {
 	nodeErr []error
 	procs   []Process
 	ctxs    []Context
+	rngs    []*rand.Rand // lazily-built per-node generators (Runner-owned)
 	bitCap  int
 	sendCap int
 	watch   map[[2]int]bool
@@ -362,7 +386,11 @@ type engine struct {
 	numHalted   int
 	maxTick     int // round cap; timers past it are never scheduled
 
-	res Result
+	// pool is the per-run worker pool of the Parallel runner (nil when
+	// sequential).
+	pool *stepPool
+
+	res *Result
 	err error
 }
 
@@ -374,9 +402,12 @@ var (
 	ErrConfig     = errors.New("sim: invalid config")
 )
 
-// send and decide write only per-node slots (outbox row, status, scratch
-// error/changed flags); the engine merges scratch state after each round.
-// This keeps node steps race-free under the parallel runner.
+// send and decide write only per-node slots (outbox row, send counters,
+// status, scratch error/changed flags); the engine merges scratch state
+// after each round. This keeps node steps race-free under the parallel
+// runner. Bits() is evaluated here, once, and cached alongside the
+// payload so the cap check and the delivery accounting never re-dispatch
+// through the interface.
 func (e *engine) send(u, port int, p Payload) {
 	if e.nodeErr[u] != nil {
 		return
@@ -385,9 +416,13 @@ func (e *engine) send(u, port int, p Payload) {
 		e.nodeErr[u] = fmt.Errorf("%w: node %d port %d (degree %d)", ErrBadPort, u, port, e.g.Degree(u))
 		return
 	}
-	if e.sendCap > 0 && len(e.outbox[u][port]) >= e.sendCap {
-		e.nodeErr[u] = fmt.Errorf("%w: node %d port %d round %d cap %d", ErrDoubleSend, u, port, e.round, e.sendCap)
-		return
+	if e.sendCap > 0 {
+		slot := e.off[u] + port
+		if int(e.sendCnt[slot]) >= e.sendCap {
+			e.nodeErr[u] = fmt.Errorf("%w: node %d port %d round %d cap %d", ErrDoubleSend, u, port, e.round, e.sendCap)
+			return
+		}
+		e.sendCnt[slot]++
 	}
 	if p == nil {
 		e.nodeErr[u] = fmt.Errorf("%w: nil payload from node %d", ErrConfig, u)
@@ -399,7 +434,7 @@ func (e *engine) send(u, port int, p Payload) {
 			ErrBitCap, bits, e.bitCap, u, e.round, p)
 		return
 	}
-	e.outbox[u][port] = append(e.outbox[u][port], p)
+	e.out[u] = append(e.out[u], outMsg{port: int32(port), bits: int32(bits), pl: p})
 }
 
 func (e *engine) decide(u int, s Status) {
