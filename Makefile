@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke sweep-smoke fmt fmt-check vet docs-check ci
+.PHONY: build test race bench bench-smoke bench-graph sweep-smoke fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,19 @@ bench:
 
 # One iteration per benchmark: proves the bench harness still runs without
 # paying for a full measurement sweep (-benchmem so the allocation columns
-# the fast-path work watches are exercised too). Wired into CI.
+# the fast-path work watches are exercised too). Covers the root package
+# experiment benchmarks and the topology benchmarks. Wired into CI.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . ./internal/graph
+
+# The topology fast-path measurement set (docs/PERFORMANCE.md): CSR
+# construction + BFS/diameter benchmarks, the graph-construction
+# allocation budgets, and the million-node wave delivery run. Used to
+# regenerate BENCH_GRAPH_CSR.json.
+bench-graph:
+	$(GO) test -run 'TestAllocBudgetGraphConstruction' -v .
+	$(GO) test -bench 'Graph' -benchtime 5x -benchmem -run='^$$' ./internal/graph
+	$(GO) test -bench 'GraphMillionNodeWave|EngineWarm|EngineThroughput' -benchtime 5x -benchmem -run='^$$' .
 
 # The allocation fast-path measurement set (docs/PERFORMANCE.md): engine
 # benchmarks plus the AllocsPerRun budget tests. Used to regenerate

@@ -89,3 +89,33 @@ func TestAllocBudgetLeastelRing(t *testing.T) {
 		t.Errorf("leastel on ring:512: %.2f allocs/round, budget 20 (≈15 measured)", got)
 	}
 }
+
+// TestAllocBudgetGraphConstruction pins the CSR builders' allocation
+// budget: a family build performs O(1) allocations regardless of node
+// count or density — the Graph shell, the three flat CSR arrays
+// (off/nbr/back), one fill cursor, and the builder closures. The old
+// edge-list path allocated per adjacency row plus a map entry per edge
+// (36.9k allocations for Complete(2048)); a budget of 8 catches any
+// reintroduced per-edge or per-node allocation.
+func TestAllocBudgetGraphConstruction(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"ring:4096", func() *graph.Graph { return graph.Ring(4096) }},
+		{"complete:512", func() *graph.Graph { return graph.Complete(512) }},
+		{"torus:32x32", func() *graph.Graph { return graph.Torus(32, 32) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var g *graph.Graph
+			allocs := testing.AllocsPerRun(10, func() { g = c.build() })
+			if g.N() == 0 {
+				t.Fatal("empty graph")
+			}
+			if allocs > 8 {
+				t.Errorf("%s: %.0f allocs per build, want O(1) (<= 8)", c.name, allocs)
+			}
+		})
+	}
+}

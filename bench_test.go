@@ -462,6 +462,32 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphMillionNodeWave is the scale probe the CSR topology core
+// unlocks: build ring:1048576, stand up a Runner (O(n) now — the borrowed
+// reverse-port table replaced the O(Σ deg²) PortTo scans), and push one
+// wave across the million-node ring through the event engine. Recorded in
+// BENCH_GRAPH_CSR.json.
+func BenchmarkGraphMillionNodeWave(b *testing.B) {
+	const n = 1 << 20
+	g := graph.Ring(n)
+	wake := adversarialWake(n)
+	r, err := sim.NewRunner(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res sim.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.RunInto(sim.Config{Seed: int64(i), Wake: wake, MaxRounds: n}, waveProto{}, &res); err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted || res.Messages != int64(n+1) {
+			b.Fatalf("wave broken: halted=%v messages=%d", res.Halted, res.Messages)
+		}
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator speed (node-rounds/s).
 func BenchmarkEngineThroughput(b *testing.B) {
 	g := graph.Torus(32, 32)

@@ -75,13 +75,14 @@ func run(args []string) error {
 		csvOut   = fs.String("csv-out", "", "sweep mode: write per-trial CSV to this file (- for stdout)")
 		mode     = fs.String("mode", "", "sweep mode: override the spec's modes axis (comma-separated: congest,local,async)")
 		delays   = fs.String("delays", "", "sweep mode: override the spec's async delay axis (comma-separated: unit,random:B,fifo:B)")
+		diamEst  = fs.Bool("diam-estimate", false, "sweep mode: grant D-dependent algorithms graph.DiameterEstimate instead of the exact all-pairs diameter (for graphs too large for O(n·m))")
 		progress = fs.Bool("progress", true, "sweep mode: report progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sweep != "" {
-		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *progress)
+		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *diamEst, *progress)
 	}
 	d := &driver{quick: *quick, seed: *seed, trials: 10, csv: *csv, workers: *workers}
 	if *quick {
@@ -128,7 +129,7 @@ func run(args []string) error {
 }
 
 // runSweep executes one declarative sweep spec through the harness.
-func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride string, progress bool) error {
+func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride string, diamEstimate, progress bool) error {
 	var spec harness.Spec
 	switch specArg {
 	case "builtin:smoke":
@@ -147,6 +148,9 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 	}
 	if delaysOverride != "" {
 		spec.Delays = strings.Split(delaysOverride, ",")
+	}
+	if diamEstimate {
+		spec.DiameterEstimate = true
 	}
 	rc := harness.RunConfig{Workers: workers}
 	// Close errors must fail the sweep: the final buffered write can

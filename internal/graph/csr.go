@@ -1,0 +1,101 @@
+// Compressed-sparse-row construction: the alloc-free two-pass builder
+// behind every family.
+//
+// A family is described by an edge stream — a function that yields each
+// undirected edge exactly once, in a deterministic order. The builder
+// runs the stream twice: a degree-counting pass that sizes the flat
+// arrays, and a fill pass that writes both directed slots of every edge
+// and, crucially, the reverse-port table in the same sweep (back[off[u]+p]
+// is the port at Neighbor(u,p) that leads back to u). Port numbers are
+// assigned in stream order, which is exactly the "order edges were added"
+// contract of the previous adjacency-list representation — seeded graphs
+// built before and after the CSR refactor are identical.
+//
+// Streams replace the old intermediate [][2]int edge list plus
+// map[[2]int]bool dedup: a correct-by-construction family allocates only
+// the Graph shell, the three CSR arrays, and one cursor array, regardless
+// of density (see the construction budgets in alloc_test.go).
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// edgeStream yields every undirected edge of a family once, in a fixed
+// deterministic order. The builder invokes a stream twice; it must yield
+// the same sequence both times.
+type edgeStream func(yield func(u, v int))
+
+// fromStream materializes an edge stream into a CSR graph. Endpoints are
+// trusted (family builders are correct by construction); NewFromEdges is
+// the validating entry point for untrusted edge lists.
+func fromStream(n int, name string, stream edgeStream) *Graph {
+	g := &Graph{
+		off:  make([]int32, n+1),
+		name: name,
+	}
+	// Pass 1: accumulate degrees in off[1:], then prefix-sum in place so
+	// off[u] is the first port slot of node u.
+	deg := g.off[1:]
+	m := 0
+	stream(func(u, v int) {
+		deg[u]++
+		deg[v]++
+		m++
+	})
+	// The int32 slot space caps the representation at 2m <= MaxInt32;
+	// fail loudly rather than wrapping the prefix sum. (Pass 1 only
+	// counts, so this is reached before any large allocation.)
+	if 2*m > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %s with %d edges exceeds the int32 CSR slot space (2m > %d)", name, m, math.MaxInt32))
+	}
+	total := int32(0)
+	for u := 0; u < n; u++ {
+		d := g.off[u+1]
+		g.off[u+1] = total + d
+		total += d
+	}
+	g.m = m
+	g.nbr = make([]int32, total)
+	g.back = make([]int32, total)
+	// Pass 2: fill both directed slots of each edge; cur[u] is u's next
+	// free port. The two slots see each other's port, so the reverse-port
+	// table costs nothing extra.
+	cur := make([]int32, n)
+	stream(func(u, v int) {
+		pu, pv := cur[u], cur[v]
+		cur[u], cur[v] = pu+1, pv+1
+		iu, iv := g.off[u]+pu, g.off[v]+pv
+		g.nbr[iu] = int32(v)
+		g.nbr[iv] = int32(u)
+		g.back[iu] = pv
+		g.back[iv] = pu
+	})
+	return g
+}
+
+// mustFromStream builds a family graph and sanity-checks the stream's
+// determinism (both passes must agree on the edge count).
+func mustFromStream(n int, name string, stream edgeStream) *Graph {
+	g := fromStream(n, name, stream)
+	if int(g.off[n]) != 2*g.m {
+		panic(fmt.Sprintf("graph: internal builder bug: %s stream yielded inconsistent passes", name))
+	}
+	return g
+}
+
+// packEdge encodes a normalized edge as a single comparable key, so edge
+// sets sort with the allocation-free slices.Sort instead of the
+// reflect-based sort.Slice.
+func packEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// unpackEdge inverts packEdge.
+func unpackEdge(k uint64) (u, v int) {
+	return int(k >> 32), int(uint32(k))
+}

@@ -24,7 +24,7 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 				stubs = append(stubs, u)
 			}
 		}
-		used := make(map[[2]int]bool, n*d/2)
+		used := newEdgeSet(n, n*d/2)
 		edges := make([][2]int, 0, n*d/2)
 		ok := true
 		// Steger–Wormald style incremental pairing: draw random valid stub
@@ -37,12 +37,10 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 				if i == j || stubs[i] == stubs[j] {
 					continue
 				}
-				k := normEdge(stubs[i], stubs[j])
-				if used[k] {
+				if !used.insert(stubs[i], stubs[j]) {
 					continue
 				}
-				used[k] = true
-				edges = append(edges, k)
+				edges = append(edges, normEdge(stubs[i], stubs[j]))
 				if i < j {
 					i, j = j, i
 				}
@@ -60,11 +58,14 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 		if !ok {
 			continue
 		}
-		g, err := NewFromEdges(n, edges)
-		if err != nil || !g.Connected() {
+		g := fromStream(n, "regular", func(yield func(u, v int)) {
+			for _, e := range edges {
+				yield(e[0], e[1])
+			}
+		})
+		if !g.Connected() {
 			continue
 		}
-		g.name = "regular"
 		return g, nil
 	}
 	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): no simple connected pairing in 200 attempts", n, d)
@@ -72,13 +73,13 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 
 // CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1}.
 func CompleteBipartite(a, b int) *Graph {
-	edges := make([][2]int, 0, a*b)
-	for u := 0; u < a; u++ {
-		for v := a; v < a+b; v++ {
-			edges = append(edges, [2]int{u, v})
+	return mustFromStream(a+b, "bipartite", func(yield func(u, v int)) {
+		for u := 0; u < a; u++ {
+			for v := a; v < a+b; v++ {
+				yield(u, v)
+			}
 		}
-	}
-	return mustFromEdges(a+b, edges, "bipartite")
+	})
 }
 
 // Caterpillar returns a path of spine nodes each with legs leaf nodes —
@@ -89,16 +90,16 @@ func Caterpillar(spine, legs int) *Graph {
 		panic("graph: Caterpillar needs spine >= 1 and legs >= 0")
 	}
 	n := spine * (legs + 1)
-	var edges [][2]int
-	for s := 0; s+1 < spine; s++ {
-		edges = append(edges, [2]int{s, s + 1})
-	}
-	leaf := spine
-	for s := 0; s < spine; s++ {
-		for l := 0; l < legs; l++ {
-			edges = append(edges, [2]int{s, leaf})
-			leaf++
+	return mustFromStream(n, "caterpillar", func(yield func(u, v int)) {
+		for s := 0; s+1 < spine; s++ {
+			yield(s, s+1)
 		}
-	}
-	return mustFromEdges(n, edges, "caterpillar")
+		leaf := spine
+		for s := 0; s < spine; s++ {
+			for l := 0; l < legs; l++ {
+				yield(s, leaf)
+				leaf++
+			}
+		}
+	})
 }

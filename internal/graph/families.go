@@ -7,11 +7,11 @@ import (
 
 // Path returns the path graph on n nodes: 0-1-2-...-(n-1).
 func Path(n int) *Graph {
-	edges := make([][2]int, 0, n-1)
-	for i := 0; i+1 < n; i++ {
-		edges = append(edges, [2]int{i, i + 1})
-	}
-	return mustFromEdges(n, edges, "path")
+	return mustFromStream(n, "path", func(yield func(u, v int)) {
+		for i := 0; i+1 < n; i++ {
+			yield(i, i+1)
+		}
+	})
 }
 
 // Ring returns the cycle graph on n nodes (n >= 3).
@@ -19,48 +19,48 @@ func Ring(n int) *Graph {
 	if n < 3 {
 		panic("graph: Ring needs n >= 3")
 	}
-	edges := make([][2]int, 0, n)
-	for i := 0; i < n; i++ {
-		edges = append(edges, [2]int{i, (i + 1) % n})
-	}
-	return mustFromEdges(n, edges, "ring")
+	return mustFromStream(n, "ring", func(yield func(u, v int)) {
+		for i := 0; i < n; i++ {
+			yield(i, (i+1)%n)
+		}
+	})
 }
 
 // Star returns the star graph: node 0 is the hub connected to 1..n-1.
 func Star(n int) *Graph {
-	edges := make([][2]int, 0, n-1)
-	for i := 1; i < n; i++ {
-		edges = append(edges, [2]int{0, i})
-	}
-	return mustFromEdges(n, edges, "star")
+	return mustFromStream(n, "star", func(yield func(u, v int)) {
+		for i := 1; i < n; i++ {
+			yield(0, i)
+		}
+	})
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	edges := make([][2]int, 0, n*(n-1)/2)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			edges = append(edges, [2]int{u, v})
+	return mustFromStream(n, "complete", func(yield func(u, v int)) {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				yield(u, v)
+			}
 		}
-	}
-	return mustFromEdges(n, edges, "complete")
+	})
 }
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) *Graph {
 	idx := func(r, c int) int { return r*cols + c }
-	var edges [][2]int
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				edges = append(edges, [2]int{idx(r, c), idx(r, c+1)})
-			}
-			if r+1 < rows {
-				edges = append(edges, [2]int{idx(r, c), idx(r+1, c)})
+	return mustFromStream(rows*cols, "grid", func(yield func(u, v int)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if c+1 < cols {
+					yield(idx(r, c), idx(r, c+1))
+				}
+				if r+1 < rows {
+					yield(idx(r, c), idx(r+1, c))
+				}
 			}
 		}
-	}
-	return mustFromEdges(rows*cols, edges, "grid")
+	})
 }
 
 // Torus returns the rows×cols torus (grid with wraparound); rows, cols >= 3.
@@ -69,34 +69,90 @@ func Torus(rows, cols int) *Graph {
 		panic("graph: Torus needs rows, cols >= 3")
 	}
 	idx := func(r, c int) int { return r*cols + c }
-	var edges [][2]int
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			edges = append(edges, [2]int{idx(r, c), idx(r, (c+1)%cols)})
-			edges = append(edges, [2]int{idx(r, c), idx((r+1)%rows, c)})
+	return mustFromStream(rows*cols, "torus", func(yield func(u, v int)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				yield(idx(r, c), idx(r, (c+1)%cols))
+				yield(idx(r, c), idx((r+1)%rows, c))
+			}
 		}
-	}
-	return mustFromEdges(rows*cols, edges, "torus")
+	})
 }
 
 // Hypercube returns the d-dimensional hypercube on 2^d nodes.
 func Hypercube(d int) *Graph {
 	n := 1 << d
-	var edges [][2]int
-	for u := 0; u < n; u++ {
-		for b := 0; b < d; b++ {
-			v := u ^ (1 << b)
-			if u < v {
-				edges = append(edges, [2]int{u, v})
+	return mustFromStream(n, "hypercube", func(yield func(u, v int)) {
+		for u := 0; u < n; u++ {
+			for b := 0; b < d; b++ {
+				if v := u ^ (1 << b); u < v {
+					yield(u, v)
+				}
 			}
 		}
+	})
+}
+
+// normEdge orders an edge's endpoints (low, high).
+func normEdge(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
 	}
-	return mustFromEdges(n, edges, "hypercube")
+	return [2]int{u, v}
+}
+
+// edgeSet is the online dedup behind the randomized builders, whose
+// rejection sampling needs membership answers mid-stream (a sort-based
+// dedup cannot answer those). Small node counts use a flat n×n bit
+// matrix — O(1) per probe, no hashing, no per-insert allocation — and
+// large ones fall back to a hash set; both give identical answers, so the
+// RNG consumption of a seeded build is representation-independent.
+type edgeSet struct {
+	n    int
+	bits []uint64        // n*n bit matrix, nil when falling back
+	m    map[[2]int]bool // fallback for large n
+}
+
+// bitsetMaxN caps the dense representation at n²/8 = 8 MiB.
+const bitsetMaxN = 8192
+
+func newEdgeSet(n, sizeHint int) *edgeSet {
+	s := &edgeSet{n: n}
+	if n <= bitsetMaxN {
+		s.bits = make([]uint64, (n*n+63)/64)
+	} else {
+		s.m = make(map[[2]int]bool, sizeHint)
+	}
+	return s
+}
+
+// insert adds the normalized edge (u,v) and reports whether it was new.
+func (s *edgeSet) insert(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	if s.bits != nil {
+		k := u*s.n + v
+		w, b := k/64, uint64(1)<<(k%64)
+		if s.bits[w]&b != 0 {
+			return false
+		}
+		s.bits[w] |= b
+		return true
+	}
+	k := [2]int{u, v}
+	if s.m[k] {
+		return false
+	}
+	s.m[k] = true
+	return true
 }
 
 // RandomConnected returns a uniformly-wired connected graph with n nodes and
 // exactly m edges (n-1 <= m <= n(n-1)/2): a random spanning tree plus m-n+1
-// additional distinct random edges.
+// additional distinct random edges. The RNG is consumed in a fixed order
+// independent of the storage representation, so seeded graphs are stable
+// across refactors.
 func RandomConnected(n, m int, rng *rand.Rand) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph: RandomConnected needs n >= 1, got %d", n)
@@ -106,15 +162,14 @@ func RandomConnected(n, m int, rng *rand.Rand) (*Graph, error) {
 		return nil, fmt.Errorf("graph: RandomConnected needs n-1 <= m <= n(n-1)/2, got n=%d m=%d", n, m)
 	}
 	perm := rng.Perm(n)
-	used := make(map[[2]int]bool, m)
+	used := newEdgeSet(n, m)
 	edges := make([][2]int, 0, m)
 	// Random spanning tree: attach each node (in random order) to a random
 	// earlier node. This is not uniform over all trees but gives well-mixed
 	// connected topologies, which is all the experiments need.
 	for i := 1; i < n; i++ {
-		u, v := perm[i], perm[rng.Intn(i)]
-		k := normEdge(u, v)
-		used[k] = true
+		k := normEdge(perm[i], perm[rng.Intn(i)])
+		used.insert(k[0], k[1])
 		edges = append(edges, k)
 	}
 	for len(edges) < m {
@@ -122,17 +177,15 @@ func RandomConnected(n, m int, rng *rand.Rand) (*Graph, error) {
 		if u == v {
 			continue
 		}
-		k := normEdge(u, v)
-		if used[k] {
+		if !used.insert(u, v) {
 			continue
 		}
-		used[k] = true
-		edges = append(edges, k)
+		edges = append(edges, normEdge(u, v))
 	}
-	g, err := NewFromEdges(n, edges)
-	if err != nil {
-		return nil, err
-	}
-	g.name = "random"
+	g := fromStream(n, "random", func(yield func(u, v int)) {
+		for _, e := range edges {
+			yield(e[0], e[1])
+		}
+	})
 	return g, nil
 }

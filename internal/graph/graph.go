@@ -8,32 +8,49 @@
 // Nodes are identified by dense indices 0..n-1. Every node sees its incident
 // edges only through local port numbers 0..deg-1, exactly as in the paper's
 // model: algorithms never observe neighbor indices, only ports.
+//
+// Topology is stored in compressed-sparse-row form: flat off/nbr arrays
+// (Neighbor(u,p) is a single load at nbr[off[u]+p]) plus a parallel
+// reverse-port table built during construction, so the simulation engine
+// borrows the arrays directly (CSR, PortBacks) and neither it nor the
+// dumbbell builders ever pay an O(deg) port scan. See csr.go for the
+// builder and docs/PERFORMANCE.md ("Topology fast path") for the numbers.
 package graph
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 )
 
-// Graph is an undirected, simple, port-numbered graph.
+// Graph is an undirected, simple, port-numbered graph in CSR layout.
 //
 // The port order of a node is the order in which its incident edges were
 // added; use ShufflePorts to randomize port mappings (the adversarial choice
 // in the paper's lower-bound constructions).
 type Graph struct {
-	adj  [][]int
+	// off[u] is the first slot of node u in nbr/back; off[n] == 2m.
+	off []int32
+	// nbr[off[u]+p] is the node reached from u through port p.
+	nbr []int32
+	// back[off[u]+p] is the port of Neighbor(u,p) leading back to u — the
+	// O(1) reverse-port table maintained by every builder and by
+	// ShufflePorts.
+	back []int32
+
 	m    int
 	name string
 
-	// diamOnce guards the memoized exact diameter. The cache survives
-	// ShufflePorts (port renumbering never changes distances) and is safe
-	// for concurrent readers, so sweeps sharing one graph across many
-	// trials pay the O(n·m) all-pairs BFS exactly once.
+	// diamOnce / estOnce guard the memoized diameter metrics. The caches
+	// survive ShufflePorts (port renumbering never changes distances) and
+	// are safe for concurrent readers, so sweeps sharing one graph across
+	// many trials pay each computation exactly once.
 	diamOnce sync.Once
 	diam     int
+	estOnce  sync.Once
+	est      int
 }
 
 // Errors returned by NewFromEdges.
@@ -45,11 +62,11 @@ var (
 
 // NewFromEdges builds a graph with n nodes from an undirected edge list.
 // Edges are validated: endpoints must lie in [0,n), self loops and duplicate
-// edges are rejected.
+// edges are rejected (by a sort over packed edge keys rather than a hash
+// set, so validation allocates one flat array and no map).
 func NewFromEdges(n int, edges [][2]int) (*Graph, error) {
-	g := &Graph{adj: make([][]int, n)}
-	seen := make(map[[2]int]bool, len(edges))
-	for _, e := range edges {
+	keys := make([]uint64, len(edges))
+	for i, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n {
 			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrBadEndpoint, u, v, n)
@@ -57,38 +74,24 @@ func NewFromEdges(n int, edges [][2]int) (*Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("%w: node %d", ErrSelfLoop, u)
 		}
-		k := normEdge(u, v)
-		if seen[k] {
+		keys[i] = packEdge(u, v)
+	}
+	slices.Sort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			u, v := unpackEdge(keys[i])
 			return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
 		}
-		seen[k] = true
-		g.adj[u] = append(g.adj[u], v)
-		g.adj[v] = append(g.adj[v], u)
-		g.m++
 	}
-	return g, nil
-}
-
-// mustFromEdges is used by the family builders, whose edge lists are
-// correct by construction.
-func mustFromEdges(n int, edges [][2]int, name string) *Graph {
-	g, err := NewFromEdges(n, edges)
-	if err != nil {
-		panic("graph: internal builder bug: " + err.Error())
-	}
-	g.name = name
-	return g
-}
-
-func normEdge(u, v int) [2]int {
-	if u > v {
-		u, v = v, u
-	}
-	return [2]int{u, v}
+	return fromStream(n, "", func(yield func(u, v int)) {
+		for _, e := range edges {
+			yield(e[0], e[1])
+		}
+	}), nil
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return len(g.off) - 1 }
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
@@ -97,16 +100,33 @@ func (g *Graph) M() int { return g.m }
 func (g *Graph) Name() string { return g.name }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return int(g.off[u+1] - g.off[u]) }
 
 // Neighbor returns the node reached from u through port p.
-func (g *Graph) Neighbor(u, p int) int { return g.adj[u][p] }
+func (g *Graph) Neighbor(u, p int) int { return int(g.nbr[int(g.off[u])+p]) }
+
+// PortBack returns the port of Neighbor(u,p) leading back to u, in O(1)
+// from the reverse-port table.
+func (g *Graph) PortBack(u, p int) int { return int(g.back[int(g.off[u])+p]) }
+
+// CSR returns the graph's flat compressed-sparse-row arrays: off (length
+// n+1) and nbr (length 2m), with Neighbor(u,p) == nbr[off[u]+p]. The
+// arrays are the graph's own storage, shared so the simulation engine can
+// resolve neighbors without an interface hop — callers must not modify
+// them, and must not call ShufflePorts while using a borrowed view.
+func (g *Graph) CSR() (off, nbr []int32) { return g.off, g.nbr }
+
+// PortBacks returns the flat reverse-port table parallel to CSR's nbr:
+// PortBacks()[off[u]+p] is the port at Neighbor(u,p) leading back to u.
+// Shared storage, same aliasing rules as CSR.
+func (g *Graph) PortBacks() []int32 { return g.back }
 
 // PortTo returns the port of u leading to v, or -1 if (u,v) is not an edge.
 func (g *Graph) PortTo(u, v int) int {
-	for p, w := range g.adj[u] {
-		if w == v {
-			return p
+	lo, hi := g.off[u], g.off[u+1]
+	for i := lo; i < hi; i++ {
+		if int(g.nbr[i]) == v {
+			return int(i - lo)
 		}
 	}
 	return -1
@@ -118,138 +138,76 @@ func (g *Graph) HasEdge(u, v int) bool { return g.PortTo(u, v) >= 0 }
 // Edges returns all undirected edges with endpoints ordered (low, high),
 // sorted lexicographically. The slice is freshly allocated.
 func (g *Graph) Edges() [][2]int {
-	edges := make([][2]int, 0, g.m)
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
-			if u < v {
-				edges = append(edges, [2]int{u, v})
+	keys := make([]uint64, 0, g.m)
+	for u := 0; u < g.N(); u++ {
+		for i := g.off[u]; i < g.off[u+1]; i++ {
+			if v := int(g.nbr[i]); u < v {
+				keys = append(keys, packEdge(u, v))
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i][0] != edges[j][0] {
-			return edges[i][0] < edges[j][0]
-		}
-		return edges[i][1] < edges[j][1]
-	})
+	slices.Sort(keys)
+	edges := make([][2]int, len(keys))
+	for i, k := range keys {
+		edges[i][0], edges[i][1] = unpackEdge(k)
+	}
 	return edges
 }
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]int, len(g.adj)), m: g.m, name: g.name}
-	for u := range g.adj {
-		c.adj[u] = append([]int(nil), g.adj[u]...)
+	return &Graph{
+		off:  slices.Clone(g.off),
+		nbr:  slices.Clone(g.nbr),
+		back: slices.Clone(g.back),
+		m:    g.m,
+		name: g.name,
 	}
-	return c
 }
 
 // ShufflePorts permutes every node's port numbering uniformly at random.
 // This realizes the adversarial port-mapping choice of the paper's model.
+// The randomness is drawn exactly as one rng.Shuffle per node in node
+// order, so seeded graphs are identical across representations.
+//
+// Borrowed CSR/PortBacks views are invalidated (their contents change in
+// place); sim Runners bound to the graph must be rebuilt.
 func (g *Graph) ShufflePorts(rng *rand.Rand) {
-	for u := range g.adj {
-		rng.Shuffle(len(g.adj[u]), func(i, j int) {
-			g.adj[u][i], g.adj[u][j] = g.adj[u][j], g.adj[u][i]
+	n := g.N()
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Pass 1: shuffle each row in place, nbr and back moving together, and
+	// record where every old port went: pos[off[u]+oldPort] = newPort.
+	pos := make([]int32, len(g.nbr))
+	orig := make([]int32, maxDeg)
+	for u := 0; u < n; u++ {
+		base := int(g.off[u])
+		deg := g.Degree(u)
+		row := g.nbr[base : base+deg]
+		bk := g.back[base : base+deg]
+		for p := range orig[:deg] {
+			orig[p] = int32(p)
+		}
+		rng.Shuffle(deg, func(i, j int) {
+			row[i], row[j] = row[j], row[i]
+			bk[i], bk[j] = bk[j], bk[i]
+			orig[i], orig[j] = orig[j], orig[i]
 		})
-	}
-}
-
-// BFS returns the distance from src to every node (-1 if unreachable).
-func (g *Graph) BFS(src int) []int {
-	dist := make([]int, g.N())
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
+		for p := 0; p < deg; p++ {
+			pos[base+int(orig[p])] = int32(p)
 		}
 	}
-	return dist
-}
-
-// Connected reports whether the graph is connected (true for n==0, n==1).
-func (g *Graph) Connected() bool {
-	if g.N() <= 1 {
-		return true
+	// Pass 2: every back entry still names the neighbor's pre-shuffle
+	// port; translate it through the neighbor's recorded permutation.
+	for i := range g.back {
+		v := g.nbr[i]
+		g.back[i] = pos[g.off[v]+g.back[i]]
 	}
-	for _, d := range g.BFS(0) {
-		if d < 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Eccentricity returns the largest BFS distance from u, or -1 if the graph
-// is disconnected from u.
-func (g *Graph) Eccentricity(u int) int {
-	ecc := 0
-	for _, d := range g.BFS(u) {
-		if d < 0 {
-			return -1
-		}
-		if d > ecc {
-			ecc = d
-		}
-	}
-	return ecc
-}
-
-// DiameterExact returns the exact diameter, computed by all-pairs BFS on
-// first use and memoized thereafter (concurrency-safe). The first call
-// costs O(n·m) time; repeated calls — e.g. a sweep running many trials on
-// one shared graph — are free.
-func (g *Graph) DiameterExact() int {
-	g.diamOnce.Do(func() { g.diam = g.diameterExact() })
-	return g.diam
-}
-
-// diameterExact is the uncached all-pairs BFS computation.
-func (g *Graph) diameterExact() int {
-	diam := 0
-	for u := 0; u < g.N(); u++ {
-		e := g.Eccentricity(u)
-		if e < 0 {
-			return -1
-		}
-		if e > diam {
-			diam = e
-		}
-	}
-	return diam
-}
-
-// DiameterTwoSweep returns a lower bound on the diameter computed with the
-// classic double-sweep heuristic (exact on trees, a good estimate on the
-// families used here). Cost: two BFS traversals.
-func (g *Graph) DiameterTwoSweep() int {
-	if g.N() == 0 {
-		return 0
-	}
-	dist := g.BFS(0)
-	far := 0
-	for v, d := range dist {
-		if d > dist[far] {
-			far = v
-		}
-	}
-	ecc := g.Eccentricity(far)
-	return ecc
 }
 
 // DegreeSum returns the sum of all degrees (2m); useful as a sanity check.
-func (g *Graph) DegreeSum() int {
-	s := 0
-	for _, a := range g.adj {
-		s += len(a)
-	}
-	return s
-}
+func (g *Graph) DegreeSum() int { return int(g.off[g.N()]) }

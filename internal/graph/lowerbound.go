@@ -29,20 +29,20 @@ func NewLollipop(n, m int) (*Lollipop, error) {
 	if kappa > n-2 {
 		kappa = n - 2 // keep at least a 2-node path so a dumbbell has positive bridge distance
 	}
-	var edges [][2]int
-	for u := 0; u < kappa; u++ {
-		for v := u + 1; v < kappa; v++ {
-			edges = append(edges, [2]int{u, v})
+	g := mustFromStream(n, "lollipop", func(yield func(u, v int)) {
+		for u := 0; u < kappa; u++ {
+			for v := u + 1; v < kappa; v++ {
+				yield(u, v)
+			}
 		}
-	}
-	b1 := kappa
-	for u := 0; u < kappa; u++ {
-		edges = append(edges, [2]int{u, b1})
-	}
-	for i := kappa; i+1 < n; i++ {
-		edges = append(edges, [2]int{i, i + 1})
-	}
-	g := mustFromEdges(n, edges, "lollipop")
+		b1 := kappa
+		for u := 0; u < kappa; u++ {
+			yield(u, b1)
+		}
+		for i := kappa; i+1 < n; i++ {
+			yield(i, i+1)
+		}
+	})
 	return &Lollipop{Graph: g, Kappa: kappa}, nil
 }
 
@@ -83,41 +83,54 @@ type Dumbbell struct {
 
 // NewDumbbell builds the dumbbell; e1 must be an edge of g1 and e2 an edge
 // of g2 (right-copy indices are pre-offset, i.e. pass g2's own indices).
+// The freed port slots are located through the closed graphs' O(1)
+// reverse-port tables; no adjacency scans.
 func NewDumbbell(g1, g2 *Graph, e1, e2 [2]int) (*Dumbbell, error) {
-	if !g1.HasEdge(e1[0], e1[1]) {
+	p1 := g1.PortTo(e1[0], e1[1])
+	if p1 < 0 {
 		return nil, fmt.Errorf("graph: dumbbell: e1=(%d,%d) not an edge of g1", e1[0], e1[1])
 	}
-	if !g2.HasEdge(e2[0], e2[1]) {
+	p2 := g2.PortTo(e2[0], e2[1])
+	if p2 < 0 {
 		return nil, fmt.Errorf("graph: dumbbell: e2=(%d,%d) not an edge of g2", e2[0], e2[1])
 	}
+	// The four freed slots: (node, port) of each opened edge's endpoints,
+	// the far-end ports read from the reverse-port tables.
+	ports1 := [2]int{p1, g1.PortBack(e1[0], p1)}
+	ports2 := [2]int{p2, g2.PortBack(e2[0], p2)}
+
 	off := g1.N()
-	n := g1.N() + g2.N()
-	adj := make([][]int, n)
-	for u := range g1.adj {
-		adj[u] = append([]int(nil), g1.adj[u]...)
+	n1, n2 := g1.N(), g2.N()
+	n := n1 + n2
+	g := &Graph{
+		off:  make([]int32, n+1),
+		nbr:  make([]int32, len(g1.nbr)+len(g2.nbr)),
+		back: make([]int32, len(g1.back)+len(g2.back)),
+		m:    g1.m + g2.m,
+		name: "dumbbell",
 	}
-	for u := range g2.adj {
-		shifted := make([]int, len(g2.adj[u]))
-		for p, v := range g2.adj[u] {
-			shifted[p] = v + off
-		}
-		adj[u+off] = shifted
+	copy(g.off, g1.off)
+	shift := g1.off[n1]
+	for u := 0; u <= n2; u++ {
+		g.off[n1+u] = shift + g2.off[u]
 	}
-	// Rewire the freed port slots: e1[i] now leads to e2[i]+off.
+	copy(g.nbr, g1.nbr)
+	for i, v := range g2.nbr {
+		g.nbr[int(shift)+i] = v + int32(off)
+	}
+	copy(g.back, g1.back)
+	copy(g.back[shift:], g2.back)
+	// Rewire the freed slots pairwise: e1[i]'s freed port now leads to
+	// e2[i]+off, and vice versa; each side's back entry is the far side's
+	// freed port.
 	for i := 0; i < 2; i++ {
-		u, v := e1[i], e1[1-i]
-		adj[u][g1.PortTo(u, v)] = e2[i] + off
-		ru, rv := e2[i]+off, e2[1-i]+off
-		p := -1
-		for q, w := range adj[ru] {
-			if w == rv {
-				p = q
-				break
-			}
-		}
-		adj[ru][p] = e1[i]
+		li := int(g.off[e1[i]]) + ports1[i]
+		ri := int(g.off[e2[i]+off]) + ports2[i]
+		g.nbr[li] = int32(e2[i] + off)
+		g.back[li] = int32(ports2[i])
+		g.nbr[ri] = int32(e1[i])
+		g.back[ri] = int32(ports1[i])
 	}
-	g := &Graph{adj: adj, m: g1.m + g2.m, name: "dumbbell"}
 	return &Dumbbell{
 		Graph:   g,
 		Bridges: [2][2]int{{e1[0], e2[0] + off}, {e1[1], e2[1] + off}},
@@ -150,19 +163,19 @@ func NewCliqueCycle(n, d int) (*CliqueCycle, error) {
 		gamma = 1
 	}
 	total := gamma * dp
-	var edges [][2]int
 	node := func(clique, k int) int { return clique*gamma + k }
-	for c := 0; c < dp; c++ {
-		for a := 0; a < gamma; a++ {
-			for b := a + 1; b < gamma; b++ {
-				edges = append(edges, [2]int{node(c, a), node(c, b)})
+	g := mustFromStream(total, "clique-cycle", func(yield func(u, v int)) {
+		for c := 0; c < dp; c++ {
+			for a := 0; a < gamma; a++ {
+				for b := a + 1; b < gamma; b++ {
+					yield(node(c, a), node(c, b))
+				}
 			}
+			// Single connecting edge: last node of clique c to first node of
+			// clique c+1 (mod D').
+			yield(node(c, gamma-1), node((c+1)%dp, 0))
 		}
-		// Single connecting edge: last node of clique c to first node of
-		// clique c+1 (mod D').
-		edges = append(edges, [2]int{node(c, gamma-1), node((c+1)%dp, 0)})
-	}
-	g := mustFromEdges(total, edges, "clique-cycle")
+	})
 	return &CliqueCycle{Graph: g, DPrime: dp, Gamma: gamma}, nil
 }
 

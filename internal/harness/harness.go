@@ -304,6 +304,17 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, ws *work
 		Wake:      wakeSchedule(t.Wake, g.N(), t.Seed),
 		Opt:       p.spec.Opt,
 	}
+	if prep.Spec().NeedsD {
+		// Resolve the granted diameter here (memoized on the shared graph)
+		// so the record shows exactly what the algorithm was told; with
+		// Spec.DiameterEstimate that is the cheap double-sweep bound.
+		if p.spec.DiameterEstimate {
+			ro.D = g.DiameterEstimate()
+		} else {
+			ro.D = g.DiameterExact()
+		}
+		tr.D = ro.D
+	}
 	start := time.Now()
 	err := prep.RunInto(ro, &ws.res)
 	tr.elapsed = time.Since(start)
@@ -312,9 +323,6 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, ws *work
 		return tr
 	}
 	res := &ws.res
-	if prep.Spec().NeedsD {
-		tr.D = g.DiameterExact()
-	}
 	tr.Rounds = res.Rounds
 	tr.LastActive = res.LastActive
 	tr.Messages = res.Messages

@@ -52,6 +52,56 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDiameterEstimateSpecField runs a D-dependent algorithm with the
+// opt-in estimate and checks (a) the trials are granted and labeled with
+// the double-sweep value, and (b) on families where the estimate is exact
+// the sweep's trial stream is identical to the all-pairs run, modulo the
+// spec echo.
+func TestDiameterEstimateSpecField(t *testing.T) {
+	base := Spec{
+		Name:   "diam-estimate",
+		Algos:  []string{"flood", "lasvegas"},
+		Graphs: []string{"ring:24", "grid:5x5"},
+		Trials: 3,
+		Seed:   11,
+	}
+	est := base
+	est.DiameterEstimate = true
+
+	exactJSON, exactRep := runToJSON(t, base, 4)
+	estJSON, estRep := runToJSON(t, est, 4)
+
+	graphs, err := base.BuildGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range graphs {
+		if g.DiameterEstimate() != g.DiameterExact() {
+			t.Fatalf("%s: estimate %d != exact %d (test premise)", base.Graphs[gi], g.DiameterEstimate(), g.DiameterExact())
+		}
+	}
+	for i := range estRep.Groups {
+		eg, xg := &estRep.Groups[i], &exactRep.Groups[i]
+		if eg.D == 0 {
+			t.Fatalf("group %s/%s missing granted D", eg.Algo, eg.Graph)
+		}
+		if eg.D != xg.D || eg.Messages != xg.Messages || eg.Success != xg.Success {
+			t.Fatalf("estimate group %s/%s diverged from exact run", eg.Algo, eg.Graph)
+		}
+	}
+	// The trial streams must be byte-identical; only the spec echo differs.
+	trim := func(b []byte) string {
+		s := string(b)
+		if i := strings.Index(s, "\n\"trials\":["); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if trim(estJSON) != trim(exactJSON) {
+		t.Fatal("estimate-granted trial stream differs from exact-granted stream on estimate-exact families")
+	}
+}
+
 func TestJSONDocumentConsumable(t *testing.T) {
 	spec := sweepSpec()
 	data, rep := runToJSON(t, spec, 4)

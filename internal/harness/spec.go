@@ -60,6 +60,14 @@ type Spec struct {
 	// (required for "dfs", whose running time is exponential in the
 	// minimum ID).
 	SmallIDs bool `json:"small_ids,omitempty"`
+	// DiameterEstimate grants D-dependent algorithms the cheap iterated
+	// double-sweep lower bound (graph.DiameterEstimate, O(k·(n+m))) as
+	// their known diameter instead of the exact all-pairs value (O(n·m)),
+	// making D-knowledge cells feasible on million-node graphs. Opt-in:
+	// the estimate equals the exact diameter on the shipped families, but
+	// an under-estimate changes what the algorithm is told, so trials with
+	// this flag are labeled by it in the emitted spec.
+	DiameterEstimate bool `json:"diameter_estimate,omitempty"`
 	// Opt tunes the algorithms (shared by every trial).
 	Opt core.Options `json:"opt,omitempty"`
 }

@@ -351,7 +351,7 @@ func (e *engine) deliver(ds []delivery, t int) {
 			e.res.MaxMsgBits = bits
 		}
 		if e.perEdge != nil || e.watch != nil {
-			key := normPair(v, e.g.Neighbor(v, int(d.port)))
+			key := normPair(v, int(e.nbr[int(e.off[v])+int(d.port)]))
 			if e.perEdge != nil {
 				e.perEdge[key]++
 			}
@@ -411,7 +411,7 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 		if len(ob) == 0 {
 			continue
 		}
-		base := e.off[u]
+		base := int(e.off[u])
 		if e.async {
 			for _, m := range ob {
 				p := int(m.port)
@@ -423,7 +423,7 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 				}
 				db := w.at(t + d)
 				db.deliveries = append(db.deliveries, delivery{
-					to: int32(e.g.Neighbor(u, p)), port: int32(e.portBack[base+p]), bits: m.bits, pl: m.pl,
+					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
 				})
 			}
 		} else {
@@ -431,7 +431,7 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 			for _, m := range ob {
 				p := int(m.port)
 				db.deliveries = append(db.deliveries, delivery{
-					to: int32(e.g.Neighbor(u, p)), port: int32(e.portBack[base+p]), bits: m.bits, pl: m.pl,
+					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
 				})
 			}
 		}

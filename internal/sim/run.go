@@ -33,18 +33,22 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 }
 
 // Runner executes runs on one fixed graph, reusing the engine state that
-// depends only on the topology (reverse-port tables) and the per-node
-// scratch buffers (outbox arenas, inboxes, status vectors, RNGs) across
-// runs. For sweep workloads this removes almost all per-trial allocation;
-// a Runner is NOT safe for concurrent use — give each worker its own.
+// depends only on the topology (the graph's CSR and reverse-port arrays,
+// borrowed rather than rebuilt) and the per-node scratch buffers (outbox
+// arenas, inboxes, status vectors, RNGs) across runs. For sweep workloads
+// this removes almost all per-trial allocation; a Runner is NOT safe for
+// concurrent use — give each worker its own. The graph's port numbering
+// must not change (no ShufflePorts) while the Runner is in use.
 type Runner struct {
 	g *graph.Graph
 
-	// Flat per-(node, port) tables, indexed by off[u]+p. portBack[off[u]+p]
-	// is the port at Neighbor(u,p) leading back to u — purely topological,
-	// computed once. sendCnt carries the per-round per-port send counts.
-	off      []int
-	portBack []int
+	// Flat per-(node, port) tables, indexed by off[u]+p. off/nbr/portBack
+	// are the graph's own CSR arrays (graph.CSR, graph.PortBacks) — purely
+	// topological, built once with the graph. sendCnt (Runner-owned)
+	// carries the per-round per-port send counts.
+	off      []int32
+	nbr      []int32
+	portBack []int32
 	sendCnt  []int32
 
 	// Reusable per-node scratch, reset at the start of every run.
@@ -77,40 +81,28 @@ func NewRunner(g *graph.Graph) (*Runner, error) {
 		return nil, fmt.Errorf("%w: empty graph", ErrConfig)
 	}
 	n := g.N()
+	off, nbr := g.CSR()
 	r := &Runner{
-		g:       g,
-		off:     make([]int, n+1),
-		out:     make([][]outMsg, n),
-		inbox:   make([][]Message, n),
-		status:  make([]Status, n),
-		halted:  make([]bool, n),
-		awake:   make([]bool, n),
-		changed: make([]bool, n),
-		nodeErr: make([]error, n),
-		procs:   make([]Process, n),
-		ctxs:    make([]Context, n),
-		rngs:    make([]*rand.Rand, n),
+		g:        g,
+		off:      off,
+		nbr:      nbr,
+		portBack: g.PortBacks(),
+		out:      make([][]outMsg, n),
+		inbox:    make([][]Message, n),
+		status:   make([]Status, n),
+		halted:   make([]bool, n),
+		awake:    make([]bool, n),
+		changed:  make([]bool, n),
+		nodeErr:  make([]error, n),
+		procs:    make([]Process, n),
+		ctxs:     make([]Context, n),
+		rngs:     make([]*rand.Rand, n),
 	}
-	ports := 0
-	for u := 0; u < n; u++ {
-		r.off[u] = ports
-		ports += g.Degree(u)
-	}
-	r.off[n] = ports
-	r.portBack = make([]int, ports)
-	r.sendCnt = make([]int32, ports)
-	for u := 0; u < n; u++ {
-		deg := g.Degree(u)
-		for p := 0; p < deg; p++ {
-			v := g.Neighbor(u, p)
-			back := g.PortTo(v, u)
-			if back < 0 {
-				return nil, fmt.Errorf("%w: asymmetric adjacency at (%d,%d)", ErrConfig, u, v)
-			}
-			r.portBack[r.off[u]+p] = back
-		}
-	}
-	r.ev = newEvScratch(n, ports)
+	// The graph maintains its reverse-port table through construction and
+	// ShufflePorts, so the old O(Σ deg²) PortTo validation scan is gone —
+	// NewRunner is O(n) for any density.
+	r.sendCnt = make([]int32, len(nbr))
+	r.ev = newEvScratch(n, len(nbr))
 	return r, nil
 }
 
@@ -198,6 +190,7 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 	*e = engine{
 		cfg: cfg, g: g, bitCap: bitCap, sendCap: sendCap,
 		off:      r.off,
+		nbr:      r.nbr,
 		portBack: r.portBack,
 		sendCnt:  r.sendCnt,
 		out:      r.out,
@@ -339,11 +332,11 @@ func (e *engine) loopDense(maxRounds int) {
 			if len(ob) == 0 {
 				continue
 			}
-			base := e.off[u]
+			base := int(e.off[u])
 			for _, m := range ob {
 				p := int(m.port)
-				v := e.g.Neighbor(u, p)
-				e.inbox[v] = append(e.inbox[v], Message{Port: e.portBack[base+p], Payload: m.pl})
+				v := int(e.nbr[base+p])
+				e.inbox[v] = append(e.inbox[v], Message{Port: int(e.portBack[base+p]), Payload: m.pl})
 				sentThisDelivery++
 				b := int(m.bits)
 				e.res.Bits += int64(b)

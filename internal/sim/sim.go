@@ -347,11 +347,14 @@ type engine struct {
 	round int
 
 	// Flat per-(node, port) tables, indexed by off[u]+p (see arena.go).
-	// off[u] is the first port slot of node u; portBack holds the port at
-	// Neighbor(u,p) leading back to u; sendCnt counts this round's sends
-	// through each port for the per-port cap.
-	off      []int
-	portBack []int
+	// off and nbr are the graph's CSR arrays and portBack its reverse-port
+	// table, borrowed via graph.CSR()/PortBacks() so the delivery fast
+	// path resolves neighbors and return ports with single array loads —
+	// no method call, no per-node slice header. sendCnt (engine-owned)
+	// counts this round's sends through each port for the per-port cap.
+	off      []int32
+	nbr      []int32
+	portBack []int32
 	sendCnt  []int32
 
 	// out[u] is u's outbox row: this round's sends in send order, with
@@ -412,12 +415,13 @@ func (e *engine) send(u, port int, p Payload) {
 	if e.nodeErr[u] != nil {
 		return
 	}
-	if port < 0 || port >= e.g.Degree(u) {
-		e.nodeErr[u] = fmt.Errorf("%w: node %d port %d (degree %d)", ErrBadPort, u, port, e.g.Degree(u))
+	deg := int(e.off[u+1] - e.off[u])
+	if port < 0 || port >= deg {
+		e.nodeErr[u] = fmt.Errorf("%w: node %d port %d (degree %d)", ErrBadPort, u, port, deg)
 		return
 	}
 	if e.sendCap > 0 {
-		slot := e.off[u] + port
+		slot := int(e.off[u]) + port
 		if int(e.sendCnt[slot]) >= e.sendCap {
 			e.nodeErr[u] = fmt.Errorf("%w: node %d port %d round %d cap %d", ErrDoubleSend, u, port, e.round, e.sendCap)
 			return
