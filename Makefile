@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-graph sweep-smoke fmt fmt-check vet docs-check ci
+.PHONY: build test test-race race bench bench-smoke bench-graph bench-faults sweep-smoke fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused -race pass over the engine and algorithm layers the fault
+# subsystem touches; much faster than the full `race` target and wired
+# into CI as its own job so engine-level data races surface on their own.
+test-race:
+	$(GO) test -race ./internal/sim/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -36,6 +42,13 @@ bench-graph:
 bench-alloc:
 	$(GO) test -run 'TestAllocBudget' -v .
 	$(GO) test -bench 'EngineSparse|EngineWarm|EngineAsync|EngineParallel|EngineThroughput' -benchtime 5x -benchmem -run='^$$' .
+
+# The fault-adversary measurement set (docs/FAULTS.md): the fault-injected
+# allocation budget plus the warm-path fault benchmarks. Used to
+# regenerate BENCH_FAULTS.json.
+bench-faults:
+	$(GO) test -run 'TestAllocBudgetLeastelFaultyRing' -v .
+	$(GO) test -bench 'EngineFaults' -benchtime 5x -benchmem -run='^$$' .
 
 # A tiny end-to-end sweep through the parallel harness: every registered
 # algorithm on two graph families, JSON document discarded after parsing.

@@ -90,6 +90,43 @@ func TestAllocBudgetLeastelRing(t *testing.T) {
 	}
 }
 
+// TestAllocBudgetLeastelFaultyRing pins the fault-injected budget: the
+// fault adversary rides the same zero-allocation discipline as the rest
+// of the fast path — the Runner owns one reusable faultState, the crash
+// heap and scratch slices are recycled across runs, and Result.Crashed
+// parks its capacity between runs. The budget is a small constant above
+// the fault-free leastel budget; a per-crash or per-drop allocation
+// would blow it immediately.
+func TestAllocBudgetLeastelFaultyRing(t *testing.T) {
+	g := graph.Ring(512)
+	wake := adversarialWake(g.N())
+	ids := sim.PermutationIDs(g.N(), rand.New(rand.NewSource(3)))
+	prep, err := core.Prepare(g, "leastel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.ParseModel("crash:0.1+drop:0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sim.Result
+	run := func() int {
+		err := prep.RunInto(core.RunOpts{
+			Seed: 7, IDs: ids, Wake: wake, MaxRounds: 1 << 13, Model: m,
+		}, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crashes == 0 || res.Dropped == 0 {
+			t.Fatalf("fault adversary idle: crashes=%d dropped=%d", res.Crashes, res.Dropped)
+		}
+		return res.Rounds
+	}
+	if got := allocsPerRound(t, 2, run); got >= 25 {
+		t.Errorf("faulty leastel on ring:512: %.2f allocs/round, budget 25", got)
+	}
+}
+
 // TestAllocBudgetGraphConstruction pins the CSR builders' allocation
 // budget: a family build performs O(1) allocations regardless of node
 // count or density — the Graph shell, the three flat CSR arrays

@@ -437,6 +437,43 @@ func BenchmarkEngineAsync(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFaults measures the fault adversary's overhead on the
+// warm fast path: one Prepared (recycled Runner, Result and faultState)
+// across iterations, leastel on ring:4096 under each fault class. The
+// "none" row is the fault-free baseline — its inner loop never touches
+// the fault subsystem, so the delta is the real price of each adversary
+// (see BENCH_FAULTS.json for the checked-in measurement).
+func BenchmarkEngineFaults(b *testing.B) {
+	g := graph.Ring(4096)
+	wake := adversarialWake(g.N())
+	for _, fault := range []string{"none", "crash:0.1", "crashrec:0.1:64", "drop:0.05", "churn:0.1:256"} {
+		m, err := sim.ParseModel(fault)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fault, func(b *testing.B) {
+			prep, err := core.Prepare(g, "leastel")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res sim.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := prep.RunInto(core.RunOpts{
+					Seed: int64(i), Wake: wake, MaxRounds: 1 << 15, Model: m,
+				}, &res)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds == 0 {
+					b.Fatal("run executed no rounds")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineParallel compares the sequential and goroutine engines on
 // a large instance (identical results, different wall-clock).
 func BenchmarkEngineParallel(b *testing.B) {

@@ -10,6 +10,8 @@
 //	E15 Table 1       head-to-head synthesis on a common graph set
 //	E16 §2 (JACM)     the asynchronous model: every algorithm under the
 //	                  unit / bounded-random / FIFO-per-link adversaries
+//	E17 fault model   survival under the seed-deterministic fault
+//	                  adversaries (crash / crash-recovery / drop / churn)
 //
 // The lower-bound experiments (E1–E5) sample fresh adversarial instances
 // per trial through internal/lowerbound; every upper-bound sweep (E6–E16)
@@ -23,11 +25,12 @@
 //	ule-experiments -sweep spec.json -workers 8 -json out.json
 //	ule-experiments -sweep builtin:smoke -csv-out trials.csv
 //	ule-experiments -sweep spec.json -mode async -delays random:8,fifo:8
+//	ule-experiments -sweep spec.json -faults crash:0.2,drop:0.1
 //
-// -mode and -delays override the spec's modes/delays axes, so one spec
-// file serves both the synchronous and asynchronous scenario space. The
-// sweep spec JSON schema (ule-sweep/v2) is documented in
-// docs/SWEEP_SCHEMA.md.
+// -mode, -delays and -faults override the spec's modes/delays/faults
+// axes, so one spec file serves the synchronous, asynchronous and faulty
+// scenario space. The sweep spec JSON schema (ule-sweep/v3) is
+// documented in docs/SWEEP_SCHEMA.md.
 package main
 
 import (
@@ -71,10 +74,11 @@ func run(args []string) error {
 		only     = fs.String("only", "", "run a single experiment id (e.g. E3)")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
 		sweep    = fs.String("sweep", "", "run a declarative sweep instead of the experiments: JSON spec file or builtin:smoke")
-		jsonOut  = fs.String("json", "", "sweep mode: write the ule-sweep/v2 JSON document to this file (- for stdout)")
+		jsonOut  = fs.String("json", "", "sweep mode: write the ule-sweep/v3 JSON document to this file (- for stdout)")
 		csvOut   = fs.String("csv-out", "", "sweep mode: write per-trial CSV to this file (- for stdout)")
 		mode     = fs.String("mode", "", "sweep mode: override the spec's modes axis (comma-separated: congest,local,async)")
 		delays   = fs.String("delays", "", "sweep mode: override the spec's async delay axis (comma-separated: unit,random:B,fifo:B)")
+		faults   = fs.String("faults", "", "sweep mode: override the spec's fault axis (comma-separated: none,crash:P,crashrec:P:D,drop:P,churn:P:K)")
 		diamEst  = fs.Bool("diam-estimate", false, "sweep mode: grant D-dependent algorithms graph.DiameterEstimate instead of the exact all-pairs diameter (for graphs too large for O(n·m))")
 		progress = fs.Bool("progress", true, "sweep mode: report progress on stderr")
 	)
@@ -82,7 +86,7 @@ func run(args []string) error {
 		return err
 	}
 	if *sweep != "" {
-		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *diamEst, *progress)
+		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *faults, *diamEst, *progress)
 	}
 	d := &driver{quick: *quick, seed: *seed, trials: 10, csv: *csv, workers: *workers}
 	if *quick {
@@ -110,6 +114,7 @@ func run(args []string) error {
 		{"E14", d.e14Kingdom, "Thm 4.10: deterministic, msgs/(m log n) and rounds/(D log n) bounded"},
 		{"E15", d.e15Table1, "Table 1 head-to-head on a common graph"},
 		{"E16", d.e16Async, "asynchronous model: success and cost under the unit / bounded-random / FIFO-per-link delay adversaries"},
+		{"E17", d.e17Faults, "fault model: the paper's algorithms assume a fault-free network; survival (unique leader among live nodes) under seed-deterministic crash / crash-recovery / drop / churn adversaries"},
 	}
 	for _, e := range exps {
 		if *only != "" && e.id != *only {
@@ -129,7 +134,7 @@ func run(args []string) error {
 }
 
 // runSweep executes one declarative sweep spec through the harness.
-func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride string, diamEstimate, progress bool) error {
+func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride, faultsOverride string, diamEstimate, progress bool) error {
 	var spec harness.Spec
 	switch specArg {
 	case "builtin:smoke":
@@ -148,6 +153,9 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 	}
 	if delaysOverride != "" {
 		spec.Delays = strings.Split(delaysOverride, ",")
+	}
+	if faultsOverride != "" {
+		spec.Faults = strings.Split(faultsOverride, ",")
 	}
 	if diamEstimate {
 		spec.DiameterEstimate = true
@@ -220,14 +228,19 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 	// a document already going there.
 	if jsonOut != "-" && csvOut != "-" {
 		t := stats.NewTable(fmt.Sprintf("sweep %s", spec.Name),
-			"algo", "graph", "mode", "wake", "delay", "n", "m", "trials", "msgs mean", "rounds mean", "success", "errors")
+			"algo", "graph", "mode", "wake", "delay", "fault", "n", "m", "trials", "msgs mean", "rounds mean", "success", "survival", "errors")
 		for _, g := range rep.Groups {
-			delay := g.Delay
+			delay, fault, survival := g.Delay, g.Fault, "-"
 			if delay == "" {
 				delay = "-"
 			}
-			t.AddRow(g.Algo, g.Graph, g.Mode, g.Wake, delay, g.N, g.M, g.Trials,
-				g.Messages.Mean, g.Rounds.Mean, g.Success, g.Errors)
+			if fault == "" {
+				fault = "-"
+			} else {
+				survival = fmt.Sprintf("%.2f", g.Survival)
+			}
+			t.AddRow(g.Algo, g.Graph, g.Mode, g.Wake, delay, fault, g.N, g.M, g.Trials,
+				g.Messages.Mean, g.Rounds.Mean, g.Success, survival, g.Errors)
 		}
 		fmt.Print(t.String())
 	}
@@ -682,6 +695,54 @@ func (d *driver) e16Async() (*stats.Table, error) {
 				return nil, fmt.Errorf("missing async group %s/%s", algo, delay)
 			}
 			t.AddRow(algo, delay, grp.Messages.Mean, grp.Rounds.Mean, grp.Success)
+		}
+	}
+	return t, nil
+}
+
+// e17: the fault scenario axis. The paper's model is fault-free, so no
+// algorithm is *designed* to survive the adversaries; the table measures
+// which failure patterns each algorithm tolerates anyway. "success" is
+// the paper's unique-leader predicate; "survival" relaxes it to the live
+// nodes (crashed nodes are excused). Message-redundant floods survive
+// drops, anything survives crashes of non-winners, and crash-recovery
+// with kept state survives where reset state re-floods or stalls.
+func (d *driver) e17Faults() (*stats.Table, error) {
+	t := stats.NewTable("E17 — fault model: survival under crash / recovery / drop / churn",
+		"algo", "fault", "msgs mean", "rounds mean", "success", "survival")
+	n := 96
+	if d.quick {
+		n = 32
+	}
+	gs := fmt.Sprintf("random:%d:%d", n, 4*n)
+	faultAxis := []string{"none", "crash:0.2", "crashrec:0.2:32", "drop:0.1", "churn:0.15:48"}
+	spec := harness.Spec{
+		Name:      "e17-faults",
+		Algos:     []string{"leastel", "leastel-const", "flood", "cluster", "kingdom"},
+		Graphs:    []string{gs},
+		Faults:    faultAxis,
+		MaxRounds: 4096,
+		SmallIDs:  true,
+	}
+	rep, err := d.sweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, algo := range spec.Algos {
+		for _, fault := range faultAxis {
+			key := fault
+			if fault == "none" {
+				key = "" // the harness canonicalizes the fault-free cell
+			}
+			grp := rep.Group(algo, gs, "congest", "sync", "", key)
+			if grp == nil {
+				return nil, fmt.Errorf("missing fault group %s/%s", algo, fault)
+			}
+			survival := "-"
+			if key != "" {
+				survival = fmt.Sprintf("%.2f", grp.Survival)
+			}
+			t.AddRow(algo, fault, grp.Messages.Mean, grp.Rounds.Mean, grp.Success, survival)
 		}
 	}
 	return t, nil

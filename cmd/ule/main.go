@@ -5,6 +5,8 @@
 //
 //	ule -graph ring:64 -algo leastel -trials 5 -seed 1
 //	ule -graph ring:64 -algo leastel -mode async -delay random:8
+//	ule -graph ring:64 -algo leastel -model async+random:8+crash:0.2
+//	ule -graph ring:64 -algo leastel -faults crashrec:0.2:32
 //	ule -graph ring:4096 -algo leastel -trials 20 -cpuprofile cpu.out -memprofile mem.out
 //	ule -list
 //
@@ -13,7 +15,10 @@
 // lollipop:N:M dumbbell:N:M cliquecycle:N:D
 //
 // Modes: congest (default), local, async. In async mode -delay selects the
-// message-delay schedule (unit, random:B, fifo:B).
+// message-delay schedule (unit, random:B, fifo:B). -faults injects the
+// seed-deterministic fault adversary (crash:P, crashrec:P:DOWN, drop:P,
+// churn:P:K — see docs/FAULTS.md); -model sets the full execution-model
+// spec in one string and overrides -mode/-delay.
 package main
 
 import (
@@ -45,6 +50,8 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "base seed")
 		mode      = fs.String("mode", "congest", "execution model: congest, local, async")
 		delay     = fs.String("delay", "", "async delay schedule: unit, random:B, fifo:B")
+		model     = fs.String("model", "", "full execution-model spec (overrides -mode/-delay), e.g. async+random:4+crash:0.2")
+		faults    = fs.String("faults", "", "fault schedule: crash:P[:W], crashrec:P:DOWN[:keep], drop:P, churn:P:K")
 		local     = fs.Bool("local", false, "LOCAL model instead of CONGEST (alias for -mode local)")
 		anonymous = fs.Bool("anonymous", false, "run without node identifiers")
 		smallIDs  = fs.Bool("small-ids", false, "permutation IDs 1..n (needed for dfs)")
@@ -90,27 +97,60 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	m, err := sim.ParseMode(*mode)
+	// Resolve the execution model: -model wins; otherwise the legacy
+	// -mode/-delay flags are composed into the same spec grammar, and
+	// -faults appends the fault adversary either way.
+	modelSpec := *model
+	if modelSpec == "" {
+		m, err := sim.ParseMode(*mode)
+		if err != nil {
+			return err
+		}
+		if *local {
+			m = sim.LOCAL
+		}
+		switch m {
+		case sim.LOCAL:
+			modelSpec = "local"
+		case sim.ASYNC:
+			modelSpec = "async"
+		default:
+			modelSpec = "congest"
+		}
+		if *delay != "" {
+			modelSpec += "+" + *delay
+		}
+	}
+	if *faults != "" {
+		modelSpec += "+" + *faults
+	}
+	em, err := sim.ParseModel(modelSpec)
 	if err != nil {
 		return err
-	}
-	if *local {
-		m = sim.LOCAL
 	}
 	g, err := buildGraph(*graphSpec, *seed)
 	if err != nil {
 		return err
 	}
-	if m == sim.ASYNC {
-		ds := *delay
-		if ds == "" {
-			ds = "unit"
+	if em.Mode == sim.ASYNC {
+		ds := "unit"
+		if em.Delay != nil {
+			ds = em.Delay.Name()
 		}
 		fmt.Printf("graph %s: n=%d m=%d  (async, delay %s)\n", *graphSpec, g.N(), g.M(), ds)
 	} else {
 		fmt.Printf("graph %s: n=%d m=%d\n", *graphSpec, g.N(), g.M())
 	}
-	table := stats.NewTable("", "trial", "rounds", "messages", "bits", "leaders", "unique")
+	withFaults := em.Faults != nil
+	if withFaults {
+		fmt.Printf("faults: %s\n", em.Faults.Name())
+	}
+	var table *stats.Table
+	if withFaults {
+		table = stats.NewTable("", "trial", "rounds", "messages", "bits", "leaders", "unique", "crashes", "recov", "dropped", "live-unique")
+	} else {
+		table = stats.NewTable("", "trial", "rounds", "messages", "bits", "leaders", "unique")
+	}
 	var msgs, rounds []float64
 	for i := 0; i < *trials; i++ {
 		s := *seed + int64(i)
@@ -120,13 +160,18 @@ func run(args []string) error {
 		}
 		res, err := election.Elect(g, *algo, election.Params{
 			Seed: s, IDs: ids, Anonymous: *anonymous,
-			Local: m == sim.LOCAL, Async: m == sim.ASYNC, Delay: *delay,
+			Model:     em.String(),
 			MaxRounds: *maxRounds,
 		})
 		if err != nil {
 			return err
 		}
-		table.AddRow(i, res.Rounds, res.Messages, res.Bits, res.LeaderCount(), res.UniqueLeader())
+		if withFaults {
+			table.AddRow(i, res.Rounds, res.Messages, res.Bits, res.LeaderCount(), res.UniqueLeader(),
+				res.Crashes, res.Recoveries, res.Dropped, res.UniqueLiveLeader())
+		} else {
+			table.AddRow(i, res.Rounds, res.Messages, res.Bits, res.LeaderCount(), res.UniqueLeader())
+		}
 		msgs = append(msgs, float64(res.Messages))
 		rounds = append(rounds, float64(res.Rounds))
 	}

@@ -13,12 +13,20 @@
 //	res, err := election.Elect(g, "leastel", election.Params{Seed: 1})
 //	if res.UniqueLeader() { ... }
 //
-// Asynchronous runs set Params.Async (and optionally a Delay schedule);
-// the same seed always reproduces the same transcript. Use Algorithms to
-// list the registry and Describe for the paper result each name
-// realizes. Custom protocols can be written against the simulator types
-// re-exported here (Protocol, Process, Context) and run with Run; see
-// the runnable examples.
+// The execution model — mode, asynchronous delay adversary, and the
+// seed-deterministic fault adversary (crash-stop, crash-recovery, link
+// drops, churn) — is one spec string on Params.Model:
+//
+//	res, _ := election.Elect(g, "leastel", election.Params{
+//		Seed: 1, Model: "async+random:4+crash:0.2",
+//	})
+//	if res.UniqueLiveLeader() { ... }
+//
+// The same seed always reproduces the same transcript, faults included.
+// Use Algorithms to list the registry and Describe for the paper result
+// each name realizes. Custom protocols can be written against the
+// simulator types re-exported here (Protocol, Process, Context) and run
+// with Run; see the runnable examples.
 package election
 
 import (
@@ -75,6 +83,16 @@ const (
 // latency assignment used in ASYNC mode.
 type DelaySchedule = sim.DelaySchedule
 
+// ModelSpec is a parsed execution model: mode + delay schedule + fault
+// schedule. It is the single source of truth for the model axes and
+// their constraints; build one with ParseModel.
+type ModelSpec = sim.ModelSpec
+
+// FaultSchedule is the fault adversary's parsed, seed-deterministic
+// schedule (crash-stop, crash-recovery, link drops, churn); build one
+// with ParseFaults.
+type FaultSchedule = sim.FaultSchedule
+
 // Asynchronous delay schedules (ASYNC mode).
 var (
 	// UnitDelay delivers every message after exactly one tick.
@@ -85,6 +103,12 @@ var (
 	FIFODelay = sim.FIFODelay
 	// ParseDelay resolves "unit", "random:B" or "fifo:B" spec strings.
 	ParseDelay = sim.ParseDelay
+	// ParseModel resolves a full execution-model spec ("async+random:4",
+	// "crash:0.2", ...) — the grammar every layer shares.
+	ParseModel = sim.ParseModel
+	// ParseFaults resolves a fault-schedule spec ("crash:0.2",
+	// "crashrec:0.1:32:keep+drop:0.05", ...).
+	ParseFaults = sim.ParseFaults
 )
 
 // WakeOnMessage marks a node that sleeps until the first message arrives.
@@ -134,13 +158,27 @@ type Params struct {
 	D int
 	// MaxRounds bounds the run (0 = simulator default).
 	MaxRounds int
+	// Model is the execution-model spec: mode, delay schedule and fault
+	// schedule in one string — "local", "async+random:4", "crash:0.2",
+	// "async+fifo:8+crashrec:0.1:32+drop:0.05", ... See sim.ParseModel
+	// (re-exported as ParseModel) for the grammar and the axis
+	// constraints; that doc is the single source of truth. Empty means
+	// CONGEST, unless one of the deprecated fields below is set.
+	Model string
 	// Local switches to the LOCAL model (unbounded messages).
+	//
+	// Deprecated: use Model ("local"). Ignored when Model is non-empty;
+	// otherwise equivalent by the pinned shim mapping (Async wins over
+	// Local).
 	Local bool
-	// Async switches to the event-driven asynchronous model (takes
-	// precedence over Local).
+	// Async switches to the event-driven asynchronous model.
+	//
+	// Deprecated: use Model ("async"). Ignored when Model is non-empty.
 	Async bool
-	// Delay is the ASYNC message-delay schedule spec: "unit" (default),
-	// "random:B", or "fifo:B".
+	// Delay is the ASYNC message-delay schedule spec.
+	//
+	// Deprecated: use Model ("async+random:4", ...). Ignored when Model
+	// is non-empty.
 	Delay string
 	// Parallel uses the multi-core engine.
 	Parallel bool
@@ -152,25 +190,35 @@ type Params struct {
 
 // Elect runs the named algorithm (see Algorithms) on g.
 func Elect(g *Graph, algorithm string, p Params) (*Result, error) {
-	mode := sim.CONGEST
-	switch {
-	case p.Async:
-		mode = sim.ASYNC
-	case p.Local:
-		mode = sim.LOCAL
-	}
-	return core.Run(g, algorithm, core.RunOpts{
+	ro := core.RunOpts{
 		Seed:      p.Seed,
 		IDs:       p.IDs,
 		Anonymous: p.Anonymous,
 		D:         p.D,
 		MaxRounds: p.MaxRounds,
-		Mode:      mode,
-		Delay:     p.Delay,
 		Parallel:  p.Parallel,
 		Wake:      p.Wake,
 		Opt:       p.Opt,
-	})
+	}
+	if p.Model != "" {
+		m, err := sim.ParseModel(p.Model)
+		if err != nil {
+			return nil, err
+		}
+		ro.Model = m
+	} else {
+		// Deprecated-shim mapping, pinned by TestParamShimEquivalence.
+		switch {
+		case p.Async:
+			ro.Mode = sim.ASYNC
+		case p.Local:
+			ro.Mode = sim.LOCAL
+		default:
+			ro.Mode = sim.CONGEST
+		}
+		ro.Delay = p.Delay
+	}
+	return core.Run(g, algorithm, ro)
 }
 
 // Run executes an arbitrary protocol under the low-level simulator

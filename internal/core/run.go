@@ -23,11 +23,18 @@ type RunOpts struct {
 	D int
 	// MaxRounds bounds the run (0 = engine default).
 	MaxRounds int
-	// Mode selects CONGEST (default), LOCAL, or the event-driven ASYNC
-	// model.
+	// Model is the execution model — mode, delay schedule and fault
+	// schedule in one parsed value. See sim.ModelSpec for the axes and
+	// their constraints (that doc is the single source of truth). The
+	// zero ModelSpec defers to the deprecated Mode/Delay fields below.
+	Model sim.ModelSpec
+	// Mode selects the communication model.
+	//
+	// Deprecated: set Model (ignored unless Model is zero).
 	Mode sim.Mode
-	// Delay is the ASYNC message-delay schedule spec ("unit", "random:B",
-	// "fifo:B"); empty means unit delays. Only valid with Mode ASYNC.
+	// Delay is the ASYNC message-delay schedule spec.
+	//
+	// Deprecated: set Model (ignored unless Model is zero).
 	Delay string
 	// DenseLoop selects the legacy dense per-round engine (synchronous
 	// modes only; used by differential tests and engine benchmarks).
@@ -59,6 +66,21 @@ func (ro RunOpts) config(g *graph.Graph, spec Spec) (sim.Config, sim.Protocol, e
 		rng := rand.New(rand.NewSource(sim.NodeSeed(ro.Seed, -1)))
 		ids = sim.RandomIDs(g.N(), rng)
 	}
+	// The deprecated Mode/Delay shims fold into a ModelSpec, so from here
+	// on there is exactly one model representation.
+	m := ro.Model
+	if m.IsZero() {
+		m.Mode = ro.Mode
+		if ro.Delay != "" || ro.Mode == sim.ASYNC {
+			ds, err := sim.ParseDelay(ro.Delay)
+			if err != nil {
+				return sim.Config{}, nil, err
+			}
+			// A non-empty Delay outside ASYNC mode is passed through so
+			// the engine rejects the misconfiguration.
+			m.Delay = ds
+		}
+	}
 	cfg := sim.Config{
 		Graph: g,
 		IDs:   ids,
@@ -68,7 +90,9 @@ func (ro RunOpts) config(g *graph.Graph, spec Spec) (sim.Config, sim.Protocol, e
 			D: d, HasD: spec.NeedsD,
 		},
 		Seed:          ro.Seed,
-		Mode:          ro.Mode,
+		Mode:          m.Mode,
+		Delay:         m.Delay,
+		Faults:        m.Faults,
 		MaxRounds:     ro.MaxRounds,
 		Wake:          ro.Wake,
 		StopWhenQuiet: spec.Quiet,
@@ -77,16 +101,22 @@ func (ro RunOpts) config(g *graph.Graph, spec Spec) (sim.Config, sim.Protocol, e
 		Parallel:      ro.Parallel,
 		DenseLoop:     ro.DenseLoop,
 	}
-	if ro.Delay != "" || ro.Mode == sim.ASYNC {
-		ds, err := sim.ParseDelay(ro.Delay)
-		if err != nil {
-			return sim.Config{}, nil, err
-		}
-		// A non-empty Delay outside ASYNC mode is passed through so the
-		// engine rejects the misconfiguration.
-		cfg.Delay = ds
-	}
 	return cfg, spec.New(ro.Opt), nil
+}
+
+// Correct reports whether res is a correct election outcome under the
+// given execution model: fault-free, the paper's success condition (one
+// leader, everyone decided — Result.UniqueLeader); under a fault
+// schedule, the fault-tolerant condition (exactly one live leader and
+// agreement among the live nodes — Result.UniqueLiveLeader). A model
+// with crash-recovery or churn is judged by the same live-node rule: a
+// node that rejoined and re-decided counts, one still undecided at the
+// end fails the run.
+func Correct(m sim.ModelSpec, res *sim.Result) bool {
+	if m.Faults == nil {
+		return res.UniqueLeader()
+	}
+	return res.UniqueLiveLeader()
 }
 
 // Run executes the registered algorithm on g and returns the run summary.

@@ -9,12 +9,19 @@ import (
 )
 
 // SchemaVersion identifies the JSON document layout emitted by
-// NewJSONEmitter; see docs/SWEEP_SCHEMA.md. v2 added the async delay
-// axis: a "delays" spec field and per-trial/per-group "delay_model".
-const SchemaVersion = "ule-sweep/v2"
+// NewJSONEmitter; see docs/SWEEP_SCHEMA.md. v3 added the fault axis:
+// a "faults" spec field, per-trial/per-group "fault_model", per-trial
+// crashes/recoveries/dropped/live_unique and per-group survival (all
+// omitted on fault-free cells, so a fault-free v3 sweep differs from v2
+// only in the schema string).
+const SchemaVersion = "ule-sweep/v3"
+
+// legacySchemaV2 is the pre-fault document layout; ParseDocument still
+// accepts it (its records simply carry no fault_model).
+const legacySchemaV2 = "ule-sweep/v2"
 
 // legacySchemaV1 is the pre-async document layout; ParseDocument still
-// accepts it (its records simply carry no delay_model).
+// accepts it (its records carry neither delay_model nor fault_model).
 const legacySchemaV1 = "ule-sweep/v1"
 
 // Emitter receives the sweep stream: Begin once, Trial once per trial in
@@ -38,7 +45,8 @@ type jsonEmitter struct {
 	trials int
 }
 
-// NewJSONEmitter returns an emitter writing the ule-sweep/v1 document to w.
+// NewJSONEmitter returns an emitter writing the current SchemaVersion
+// document to w.
 func NewJSONEmitter(w io.Writer) Emitter {
 	return &jsonEmitter{w: bufio.NewWriter(w)}
 }
@@ -81,9 +89,11 @@ func (e *jsonEmitter) End(rep *Report) error {
 
 // csvHeader is the column layout of the CSV emitter.
 var csvHeader = []string{
-	"trial", "algo", "graph", "mode", "wake", "delay_model", "rep", "seed",
+	"trial", "algo", "graph", "mode", "wake", "delay_model", "fault_model",
+	"rep", "seed",
 	"n", "m", "d", "rounds", "last_active", "messages", "bits",
-	"leaders", "unique", "halted", "hit_round_cap", "err",
+	"leaders", "unique", "halted", "hit_round_cap",
+	"crashes", "recoveries", "dropped", "live_unique", "err",
 }
 
 // csvEmitter streams one row per trial.
@@ -103,13 +113,15 @@ func (e *csvEmitter) Begin(Spec, int) error {
 
 func (e *csvEmitter) Trial(tr TrialResult) error {
 	return writeCSVRow(e.w, []string{
-		strconv.Itoa(tr.Index), tr.Algo, tr.Graph, tr.Mode, tr.Wake, tr.Delay,
+		strconv.Itoa(tr.Index), tr.Algo, tr.Graph, tr.Mode, tr.Wake, tr.Delay, tr.Fault,
 		strconv.Itoa(tr.Rep), strconv.FormatInt(tr.Seed, 10),
 		strconv.Itoa(tr.N), strconv.Itoa(tr.M), strconv.Itoa(tr.D),
 		strconv.Itoa(tr.Rounds), strconv.Itoa(tr.LastActive),
 		strconv.FormatInt(tr.Messages, 10), strconv.FormatInt(tr.Bits, 10),
 		strconv.Itoa(tr.Leaders), strconv.FormatBool(tr.Unique),
 		strconv.FormatBool(tr.Halted), strconv.FormatBool(tr.HitRoundCap),
+		strconv.Itoa(tr.Crashes), strconv.Itoa(tr.Recoveries),
+		strconv.FormatInt(tr.Dropped, 10), strconv.FormatBool(tr.LiveUnique),
 		csvEscape(tr.Err),
 	})
 }
@@ -140,8 +152,8 @@ func csvEscape(s string) string {
 	return strconv.Quote(s)
 }
 
-// Document is the parsed form of a ule-sweep/v2 (or legacy v1) JSON file;
-// tests and downstream tooling use it to consume sweep output.
+// Document is the parsed form of a ule-sweep/v3 (or legacy v2/v1) JSON
+// file; tests and downstream tooling use it to consume sweep output.
 type Document struct {
 	Schema      string        `json:"schema"`
 	Spec        Spec          `json:"spec"`
@@ -151,15 +163,16 @@ type Document struct {
 	Errors      int           `json:"errors"`
 }
 
-// ParseDocument decodes and validates a ule-sweep/v2 document. Legacy
-// ule-sweep/v1 documents are also accepted: their trials and groups
-// predate the async delay axis and parse with an empty delay_model.
+// ParseDocument decodes and validates a ule-sweep/v3 document. Legacy
+// ule-sweep/v2 and v1 documents are also accepted: their trials and
+// groups predate the fault (and, for v1, the delay) axis and parse with
+// the corresponding fields empty.
 func ParseDocument(data []byte) (*Document, error) {
 	var doc Document
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("harness: invalid sweep document: %w", err)
 	}
-	if doc.Schema != SchemaVersion && doc.Schema != legacySchemaV1 {
+	if doc.Schema != SchemaVersion && doc.Schema != legacySchemaV2 && doc.Schema != legacySchemaV1 {
 		return nil, fmt.Errorf("harness: unknown schema %q (want %q)", doc.Schema, SchemaVersion)
 	}
 	if len(doc.Trials) != doc.TotalTrials {

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// faultSweepSpec is the fault-axis determinism matrix: every fault class
+// crossed with two algorithms, two graphs and both timing models.
+func faultSweepSpec() Spec {
+	return Spec{
+		Name:      "fault-matrix",
+		Algos:     []string{"leastel", "flood"},
+		Graphs:    []string{"ring:24", "random:32:96"},
+		Modes:     []string{"congest", "async"},
+		Faults:    []string{"none", "crash:0.2", "crashrec:0.2:16", "drop:0.1", "churn:0.2:8"},
+		Trials:    2,
+		Seed:      13,
+		MaxRounds: 1 << 12,
+	}
+}
+
+// TestFaultSweepDeterministicAcrossWorkers pins the tentpole guarantee at
+// the harness layer: a faulty sweep is a pure function of the spec, so
+// every worker count emits the same bytes — fault ordering, crash counts
+// and drop tallies included.
+func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := faultSweepSpec()
+	ref, refRep := runToJSON(t, spec, 1)
+	if refRep.Errors != 0 {
+		t.Fatalf("fault sweep reported %d trial errors", refRep.Errors)
+	}
+	sawFaultGroup := false
+	for _, g := range refRep.Groups {
+		if g.Fault != "" {
+			sawFaultGroup = true
+		}
+	}
+	if !sawFaultGroup {
+		t.Fatal("no fault-model groups in the fault sweep")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		out, _ := runToJSON(t, spec, workers)
+		if !bytes.Equal(ref, out) {
+			t.Fatalf("fault sweep output differs between 1 and %d workers (%d vs %d bytes)",
+				workers, len(ref), len(out))
+		}
+	}
+}
+
+// TestNoneFaultAxisMatchesFaultFree is the differential guard for the
+// fault-free path: a sweep whose fault axis is only "none" must stream
+// byte-identical trials and groups to the same sweep with no fault axis
+// at all — the fault subsystem leaves zero trace when disarmed.
+func TestNoneFaultAxisMatchesFaultFree(t *testing.T) {
+	base := sweepSpec()
+	withNone := base
+	withNone.Faults = []string{"none"}
+
+	baseJSON, baseRep := runToJSON(t, base, 4)
+	noneJSON, noneRep := runToJSON(t, withNone, 4)
+
+	if baseRep.Total != noneRep.Total {
+		t.Fatalf("trial totals diverge: %d vs %d", baseRep.Total, noneRep.Total)
+	}
+	// Only the spec echo may differ (it records the explicit "none" axis).
+	trim := func(b []byte) string {
+		s := string(b)
+		if i := strings.Index(s, "\n\"trials\":["); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if trim(noneJSON) != trim(baseJSON) {
+		t.Fatal(`faults:["none"] trial stream differs from the fault-free sweep`)
+	}
+}
+
+// TestParseDocumentAcceptsLegacyV2 pins the schema compatibility
+// promise: pre-fault v2 documents keep parsing (with no fault_model).
+func TestParseDocumentAcceptsLegacyV2(t *testing.T) {
+	doc := []byte(`{"schema":"ule-sweep/v2","spec":{"algos":["leastel"],"graphs":["ring:8"]},"trials":[],"groups":[],"total_trials":0,"errors":0}`)
+	if _, err := ParseDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(`{"schema":"ule-sweep/v9","spec":{},"trials":[],"groups":[],"total_trials":0,"errors":0}`)
+	if _, err := ParseDocument(bad); err == nil {
+		t.Fatal("unknown schema version accepted")
+	}
+}
+
+// TestFaultCellsCarryMeasurements checks the v3 per-trial fields land
+// only on fault cells, and that survival is populated per fault group.
+func TestFaultCellsCarryMeasurements(t *testing.T) {
+	spec := Spec{
+		Name:      "fault-fields",
+		Algos:     []string{"flood"},
+		Graphs:    []string{"ring:16"},
+		Faults:    []string{"none", "crash:0.5"},
+		Trials:    4,
+		Seed:      3,
+		MaxRounds: 1 << 12,
+	}
+	data, rep := runToJSON(t, spec, 2)
+	doc, err := ParseDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCrash := false
+	for _, tr := range doc.Trials {
+		if tr.Fault == "" {
+			if tr.Crashes != 0 || tr.Recoveries != 0 || tr.Dropped != 0 || tr.LiveUnique {
+				t.Fatalf("fault-free trial %d carries fault measurements: %+v", tr.Index, tr)
+			}
+			continue
+		}
+		if tr.Crashes > 0 {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no crash:0.5 trial recorded a crash across 4 reps")
+	}
+	g := rep.Group("flood", "ring:16", "congest", "sync", "", "crash:0.5")
+	if g == nil {
+		t.Fatal("missing crash:0.5 group")
+	}
+	if g.Survival == 0 {
+		t.Error("flood should survive crash faults on a ring in at least one rep")
+	}
+	if free := rep.Group("flood", "ring:16", "congest", "sync", "", ""); free == nil || free.Survival != 0 {
+		t.Error("fault-free group must not report survival")
+	}
+}

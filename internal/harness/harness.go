@@ -35,6 +35,15 @@ type TrialResult struct {
 	// Halted / HitRoundCap describe how the run ended.
 	Halted      bool `json:"halted"`
 	HitRoundCap bool `json:"hit_round_cap,omitempty"`
+	// Fault-cell measurements, set only when the trial ran under a fault
+	// schedule (fault-free trial records are unchanged from earlier
+	// schema versions): applied crash/recovery event counts, messages
+	// lost to the fault adversary, and the fault-tolerant success
+	// condition (core.Correct — a unique leader among the live nodes).
+	Crashes    int   `json:"crashes,omitempty"`
+	Recoveries int   `json:"recoveries,omitempty"`
+	Dropped    int64 `json:"dropped,omitempty"`
+	LiveUnique bool  `json:"live_unique,omitempty"`
 	// Err records a per-trial model violation ("" = clean run). The sweep
 	// continues past trial errors; Report.Errors counts them.
 	Err string `json:"err,omitempty"`
@@ -45,13 +54,15 @@ type TrialResult struct {
 }
 
 // GroupStats aggregates every repetition of one (algo, graph, mode, wake,
-// delay) cell. Delay is empty for synchronous cells.
+// delay, fault) cell. Delay is empty for synchronous cells; Fault is
+// empty for fault-free cells.
 type GroupStats struct {
 	Algo   string `json:"algo"`
 	Graph  string `json:"graph"`
 	Mode   string `json:"mode"`
 	Wake   string `json:"wake"`
 	Delay  string `json:"delay_model,omitempty"`
+	Fault  string `json:"fault_model,omitempty"`
 	N      int    `json:"n"`
 	M      int    `json:"m"`
 	D      int    `json:"d,omitempty"`
@@ -63,6 +74,10 @@ type GroupStats struct {
 	Rounds   stats.Summary `json:"rounds"` // LastActive per trial
 	Bits     stats.Summary `json:"bits"`
 	Success  float64       `json:"success"`
+	// Survival is the fraction of clean trials satisfying the
+	// fault-tolerant success condition (unique live leader); only
+	// emitted for fault cells.
+	Survival float64 `json:"survival,omitempty"`
 }
 
 // Report is the end-of-sweep synthesis returned by Run and appended by the
@@ -88,14 +103,16 @@ type Report struct {
 func (r *Report) Graphs() []*graph.Graph { return r.graphs }
 
 // Group returns the aggregate for one cell, or nil if absent. The
-// optional trailing argument selects a delay model; without it the first
-// cell matching (algo, graph, mode, wake) is returned, which is unique
-// for synchronous cells and for async sweeps with a single delay model.
-func (r *Report) Group(algo, graphSpec, mode, wake string, delay ...string) *GroupStats {
+// optional trailing arguments select a delay model (rest[0]) and a fault
+// model (rest[1]); without them the first cell matching
+// (algo, graph, mode, wake) is returned, which is unique for synchronous
+// fault-free cells and for sweeps with a single delay/fault model.
+func (r *Report) Group(algo, graphSpec, mode, wake string, rest ...string) *GroupStats {
 	for i := range r.Groups {
 		g := &r.Groups[i]
 		if g.Algo == algo && g.Graph == graphSpec && g.Mode == mode && g.Wake == wake &&
-			(len(delay) == 0 || g.Delay == delay[0]) {
+			(len(rest) < 1 || g.Delay == rest[0]) &&
+			(len(rest) < 2 || g.Fault == rest[1]) {
 			return g
 		}
 	}
@@ -116,10 +133,11 @@ type RunConfig struct {
 
 // groupAcc accumulates one cell online; only scalar samples are retained.
 type groupAcc struct {
-	key              [5]string
+	key              [6]string
 	n, m, d          int
 	trials, errors   int
 	unique           int
+	liveUnique       int
 	msgs, rounds, bs []float64
 }
 
@@ -169,7 +187,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 		nextEmit int
 		done     int
 		groups   []*groupAcc
-		byKey    = make(map[[5]string]*groupAcc)
+		byKey    = make(map[[6]string]*groupAcc)
 		emitErr  error
 	)
 	for tr := range results {
@@ -194,7 +212,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 					}
 				}
 			}
-			key := [5]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay}
+			key := [6]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay, next.Fault}
 			acc, ok := byKey[key]
 			if !ok {
 				acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
@@ -211,6 +229,9 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 			acc.bs = append(acc.bs, float64(next.Bits))
 			if next.Unique {
 				acc.unique++
+			}
+			if next.LiveUnique {
+				acc.liveUnique++
 			}
 		}
 	}
@@ -229,7 +250,8 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 	// in deterministic expansion (graph-major) order.
 	for _, acc := range groups {
 		gs := GroupStats{
-			Algo: acc.key[0], Graph: acc.key[1], Mode: acc.key[2], Wake: acc.key[3], Delay: acc.key[4],
+			Algo: acc.key[0], Graph: acc.key[1], Mode: acc.key[2], Wake: acc.key[3],
+			Delay: acc.key[4], Fault: acc.key[5],
 			N: acc.n, M: acc.m, D: acc.d,
 			Trials:   acc.trials,
 			Errors:   acc.errors,
@@ -239,6 +261,9 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 		}
 		if clean := acc.trials - acc.errors; clean > 0 {
 			gs.Success = float64(acc.unique) / float64(clean)
+			if gs.Fault != "" {
+				gs.Survival = float64(acc.liveUnique) / float64(clean)
+			}
 		}
 		rep.Errors += acc.errors
 		rep.Groups = append(rep.Groups, gs)
@@ -299,8 +324,7 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, ws *work
 		Seed:      t.Seed,
 		IDs:       ids,
 		MaxRounds: p.spec.MaxRounds,
-		Mode:      t.mode,
-		Delay:     t.Delay,
+		Model:     t.Model(),
 		Wake:      wakeSchedule(t.Wake, g.N(), t.Seed),
 		Opt:       p.spec.Opt,
 	}
@@ -331,6 +355,12 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, ws *work
 	tr.Unique = res.UniqueLeader()
 	tr.Halted = res.Halted
 	tr.HitRoundCap = res.HitRoundCap
+	if t.faults != nil {
+		tr.Crashes = res.Crashes
+		tr.Recoveries = res.Recoveries
+		tr.Dropped = res.Dropped
+		tr.LiveUnique = core.Correct(t.Model(), res)
+	}
 	return tr
 }
 

@@ -1,9 +1,9 @@
 // Package harness is the parallel experiment-sweep engine: it expands a
 // declarative sweep specification (algorithm set × graph family × modes ×
-// wake schedules × async delay schedules × repetitions) into
-// deterministic trials, executes them on a work-stealing goroutine pool,
-// and streams the results through JSON/CSV emitters and an online
-// aggregator.
+// wake schedules × async delay schedules × fault schedules ×
+// repetitions) into deterministic trials, executes them on a
+// work-stealing goroutine pool, and streams the results through JSON/CSV
+// emitters and an online aggregator.
 //
 // Determinism: every trial's randomness derives from (Spec.Seed, rep), so
 // the r-th repetition of every (algorithm, graph, mode, wake) cell sees
@@ -54,6 +54,12 @@ type Spec struct {
 	// "async"-mode cells only; synchronous cells ignore it rather than
 	// multiplying.
 	Delays []string `json:"delays,omitempty"`
+	// Faults lists fault-adversary schedules (sim.ParseFaults grammar:
+	// "crash:0.2", "crashrec:0.1:32:keep+drop:0.05", ...; "" or "none"
+	// is fault-free). The default is the single fault-free entry. Unlike
+	// Delays, the axis multiplies every mode — faults compose with the
+	// synchronous models too.
+	Faults []string `json:"faults,omitempty"`
 	// MaxRounds bounds each run (default 1 << 18).
 	MaxRounds int `json:"max_rounds,omitempty"`
 	// SmallIDs assigns permutation IDs 1..n instead of random 64-bit IDs
@@ -72,10 +78,11 @@ type Spec struct {
 	Opt core.Options `json:"opt,omitempty"`
 }
 
-// Trial identifies one expanded (algorithm, graph, mode, wake, delay)
-// cell repetition. Index is the position in expansion order; Seed is the
-// trial's deterministic root seed. Delay is the async delay-model spec
-// ("" for synchronous cells).
+// Trial identifies one expanded (algorithm, graph, mode, wake, delay,
+// fault) cell repetition. Index is the position in expansion order; Seed
+// is the trial's deterministic root seed. Delay is the async delay-model
+// spec ("" for synchronous cells); Fault is the fault-schedule spec (""
+// for fault-free cells — "none" axis entries are canonicalized to "").
 type Trial struct {
 	Index int    `json:"trial"`
 	Algo  string `json:"algo"`
@@ -83,11 +90,21 @@ type Trial struct {
 	Mode  string `json:"mode"`
 	Wake  string `json:"wake"`
 	Delay string `json:"delay_model,omitempty"`
+	Fault string `json:"fault_model,omitempty"`
 	Rep   int    `json:"rep"`
 	Seed  int64  `json:"seed"`
 
 	graphIdx int
-	mode     sim.Mode
+	// The parsed model axes, resolved once per axis entry at compile time
+	// and shared by every repetition (both values are immutable).
+	mode   sim.Mode
+	delay  sim.DelaySchedule
+	faults *sim.FaultSchedule
+}
+
+// Model returns the trial's parsed execution model.
+func (t Trial) Model() sim.ModelSpec {
+	return sim.ModelSpec{Mode: t.mode, Delay: t.delay, Faults: t.faults}
 }
 
 // TrialSeed derives the deterministic root seed of repetition rep.
@@ -212,6 +229,16 @@ func (s Spec) cellDelays(mode sim.Mode) []string {
 	return []string{""}
 }
 
+// faultAxis returns the fault-schedule axis: the spec's Faults, or the
+// single fault-free entry. The spec field itself is left alone (an
+// omitted axis stays omitted in emitted spec JSON).
+func (s Spec) faultAxis() []string {
+	if len(s.Faults) == 0 {
+		return []string{""}
+	}
+	return s.Faults
+}
+
 // BuildGraphs instantiates the spec's graph axis exactly as Run does
 // (deterministic given Spec.Seed), for callers that need the instances —
 // e.g. to compute table normalizations like rounds/D from the memoized
@@ -257,10 +284,23 @@ func (s Spec) compile() (*plan, error) {
 			return nil, err
 		}
 	}
+	// Parse each delay and fault axis entry once; the immutable parsed
+	// values are shared by every trial of the entry.
+	delays := make(map[string]sim.DelaySchedule, len(s.Delays))
 	for _, d := range s.Delays {
-		if _, err := sim.ParseDelay(d); err != nil {
+		ds, err := sim.ParseDelay(d)
+		if err != nil {
 			return nil, fmt.Errorf("harness: %w", err)
 		}
+		delays[d] = ds
+	}
+	faults := make([]*sim.FaultSchedule, len(s.faultAxis()))
+	for i, f := range s.faultAxis() {
+		fs, err := sim.ParseFaults(f)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		faults[i] = fs
 	}
 	graphs, err := s.BuildGraphs()
 	if err != nil {
@@ -272,19 +312,27 @@ func (s Spec) compile() (*plan, error) {
 			for mi, mode := range s.Modes {
 				for _, wake := range s.Wakes {
 					for _, delay := range s.cellDelays(modes[mi]) {
-						for rep := 0; rep < s.Trials; rep++ {
-							p.trials = append(p.trials, Trial{
-								Index:    len(p.trials),
-								Algo:     algo,
-								Graph:    gs,
-								Mode:     strings.ToLower(mode),
-								Wake:     wake,
-								Delay:    delay,
-								Rep:      rep,
-								Seed:     TrialSeed(s.Seed, rep),
-								graphIdx: gi,
-								mode:     modes[mi],
-							})
+						for fi, fault := range s.faultAxis() {
+							if faults[fi] == nil {
+								fault = "" // canonicalize "none"
+							}
+							for rep := 0; rep < s.Trials; rep++ {
+								p.trials = append(p.trials, Trial{
+									Index:    len(p.trials),
+									Algo:     algo,
+									Graph:    gs,
+									Mode:     strings.ToLower(mode),
+									Wake:     wake,
+									Delay:    delay,
+									Fault:    fault,
+									Rep:      rep,
+									Seed:     TrialSeed(s.Seed, rep),
+									graphIdx: gi,
+									mode:     modes[mi],
+									delay:    delays[delay],
+									faults:   faults[fi],
+								})
+							}
 						}
 					}
 				}
@@ -306,5 +354,5 @@ func (s Spec) NumTrials() int {
 			cells++ // invalid mode: count one cell; compile will reject it
 		}
 	}
-	return len(s.Algos) * len(s.Graphs) * len(s.Wakes) * cells * s.Trials
+	return len(s.Algos) * len(s.Graphs) * len(s.Wakes) * cells * len(s.faultAxis()) * s.Trials
 }

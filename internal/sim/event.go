@@ -94,6 +94,12 @@ func (e *engine) wakeRound(u int) int {
 	return e.cfg.Wake[u]
 }
 
+// live reports whether node u is up. Fault-free runs have no fault state
+// and every node is up forever.
+func (e *engine) live(u int) bool {
+	return e.faults == nil || e.faults.alive[u]
+}
+
 // loopEvent is the event-driven main loop.
 func (e *engine) loopEvent(maxRounds int) {
 	n := e.g.N()
@@ -126,14 +132,27 @@ func (e *engine) loopEvent(maxRounds int) {
 		switch {
 		case !e.async && e.numRunning > 0:
 			// Synchronous semantics: awake nodes are stepped every round,
-			// so virtual time cannot skip ahead.
+			// so virtual time cannot skip ahead (pending fault events due
+			// by t+1 are applied at the start of tick t+1).
 			next = t + 1
 		case !w.empty():
 			next = w.minTick()
+			// Fault events are applied at the tick they are due, so a
+			// membership change cannot be skipped over.
+			if e.faults != nil && len(e.faults.heap) > 0 && e.faults.heap[0].tick < next {
+				next = e.faults.heap[0].tick
+			}
+		case e.faults != nil && e.faults.pendingUp > 0:
+			// Quiet network, but a crashed node is scheduled to come back:
+			// a rejoining node can revive the run, so jump to the earliest
+			// recovery (crash events due before it apply the same tick).
+			next = e.faults.nextRevive()
 		default:
 			// Nothing in flight, nothing scheduled, nobody running: the
-			// network is dead. A network dead on arrival still "runs" its
-			// first round, matching the dense loop's accounting.
+			// network is dead. Fault events without a pending recovery
+			// cannot revive it — crashes scheduled past this point never
+			// fire. A network dead on arrival still "runs" its first
+			// round, matching the dense loop's accounting.
 			if t == 0 {
 				t = 1
 			}
@@ -150,7 +169,10 @@ func (e *engine) loopEvent(maxRounds int) {
 		if e.err != nil {
 			return
 		}
-		if e.pendingMsgs == 0 {
+		if e.pendingMsgs == 0 && (e.faults == nil || e.faults.pendingUp == 0) {
+			// With a recovery pending the run is never over: the rejoining
+			// node re-enters (with reset state it even re-Starts), so every
+			// quiescence test below would be premature.
 			if e.numHalted == n {
 				e.res.Rounds = t
 				return
@@ -169,11 +191,14 @@ func (e *engine) loopEvent(maxRounds int) {
 }
 
 // pruneDeadEvents drops minimum-tick buckets that no longer hold any live
-// event. A delivery is always live; a scheduled wake-up is live while
-// its node still sleeps; a timer is live for a non-halted node in ASYNC
-// mode (in the synchronous modes timers are no-ops — awake nodes step
-// every round anyway). Liveness only ever decays, so a discarded bucket
-// could never have done anything.
+// event. A delivery is always live (even one bound for a crashed node —
+// it must still be drained and accounted as dropped); a scheduled wake-up
+// is live while its node still sleeps; a timer is live for a non-halted
+// node in ASYNC mode (in the synchronous modes timers are no-ops — awake
+// nodes step every round anyway). Wakes and timers of a crashed node are
+// dead, unless a recovery is pending anywhere: the node might be back up
+// by the bucket's tick, so pruning stays conservative then. Liveness only
+// ever decays, so a discarded bucket could never have done anything.
 func (e *engine) pruneDeadEvents() {
 	w := e.ev.wheel
 	for !w.empty() {
@@ -183,13 +208,13 @@ func (e *engine) pruneDeadEvents() {
 			return
 		}
 		for _, u := range b.wakes {
-			if !e.awake[u] {
+			if !e.awake[u] && (e.live(u) || e.faults.pendingUp > 0) {
 				return
 			}
 		}
 		if e.async {
 			for _, u := range b.timers {
-				if !e.halted[u] {
+				if !e.halted[u] && (e.live(u) || e.faults.pendingUp > 0) {
 					return
 				}
 			}
@@ -198,9 +223,12 @@ func (e *engine) pruneDeadEvents() {
 	}
 }
 
+// allDecided ignores crashed nodes: a dead undecided node cannot block
+// StopWhenQuiet (the pendingUp gate in loopEvent already keeps the run
+// alive while any of them is scheduled to recover).
 func (e *engine) allDecided() bool {
-	for _, s := range e.status {
-		if s == Undecided {
+	for u, s := range e.status {
+		if s == Undecided && e.live(u) {
 			return false
 		}
 	}
@@ -218,31 +246,37 @@ func (e *engine) tick(t int) {
 	if e.async {
 		sc.stepSet = sc.stepSet[:0]
 	}
+	// Membership changes first: a node crashed at t misses t's deliveries
+	// and wake-ups, a node recovered at t takes part in them.
+	if e.faults != nil {
+		e.faults.revived = e.faults.revived[:0]
+		e.applyFaults(t)
+	}
 
 	sc.wheel.advance(t)
 	b := sc.wheel.takeCurrent(t)
 	if b != nil {
 		e.deliver(b.deliveries, t)
-		// Scheduled wake-ups rouse sleepers; a wake for a node that a
-		// message woke earlier is dead.
+		// Scheduled wake-ups rouse (live) sleepers; a wake for a node
+		// that a message woke earlier is dead.
 		if b.wakeAll {
 			for u := 0; u < e.g.N(); u++ {
-				if !e.awake[u] {
+				if !e.awake[u] && e.live(u) {
 					sc.wake = append(sc.wake, u)
 				}
 			}
 		} else {
 			for _, u := range b.wakes {
-				if !e.awake[u] {
+				if !e.awake[u] && e.live(u) {
 					sc.wake = append(sc.wake, u)
 				}
 			}
 		}
-		// RequestWake timers step their (awake) node in ASYNC mode; in
-		// the synchronous modes awake nodes are stepped regardless.
+		// RequestWake timers step their (awake, live) node in ASYNC mode;
+		// in the synchronous modes awake nodes are stepped regardless.
 		if e.async {
 			for _, u := range b.timers {
-				if e.awake[u] && !e.halted[u] {
+				if e.awake[u] && !e.halted[u] && e.live(u) {
 					sc.stepSet = append(sc.stepSet, u)
 				}
 			}
@@ -268,7 +302,14 @@ func (e *engine) tick(t int) {
 		e.awake[u] = true
 		e.numRunning++
 		wr := e.wakeRound(u)
-		e.ctxs[u].spontaneous = wr > 0 && t >= wr && len(e.inbox[u]) == 0
+		spont := wr > 0 && t >= wr && len(e.inbox[u]) == 0
+		if e.faults != nil && e.faults.rejoined[u] {
+			// A reset-state rejoin is a spontaneous (re)start regardless
+			// of the wake schedule — unless a message arrived this tick.
+			e.faults.rejoined[u] = false
+			spont = len(e.inbox[u]) == 0
+		}
+		e.ctxs[u].spontaneous = spont
 		e.procs[u].Start(&e.ctxs[u])
 		started = append(started, u)
 	}
@@ -276,15 +317,30 @@ func (e *engine) tick(t int) {
 	// Build the step set.
 	var step []int
 	if !e.async {
-		// Synchronous: every awake non-halted node, i.e. the active list
-		// with this tick's wake-ups merged in and halted nodes compacted
-		// out (nodes may have halted during Start just above).
+		// Synchronous: every awake non-halted live node, i.e. the active
+		// list with this tick's wake-ups (and keep-state revivals) merged
+		// in and halted or crashed nodes compacted out (nodes may have
+		// halted during Start just above).
 		if len(started) > 0 {
 			sc.active = mergeSorted(sc.active, started, &sc.mergeBuf)
 		}
+		if e.faults != nil && len(e.faults.revived) > 0 {
+			rv := e.faults.revived[:0]
+			for _, u := range e.faults.revived {
+				// Guard against a node that was never compacted out (its
+				// crash and revival applied at one processed tick).
+				if i := sort.SearchInts(sc.active, u); i == len(sc.active) || sc.active[i] != u {
+					rv = append(rv, u)
+				}
+			}
+			if len(rv) > 0 {
+				sort.Ints(rv)
+				sc.active = mergeSorted(sc.active, rv, &sc.mergeBuf)
+			}
+		}
 		w := 0
 		for _, u := range sc.active {
-			if !e.halted[u] {
+			if !e.halted[u] && e.live(u) {
 				sc.active[w] = u
 				w++
 			}
@@ -341,10 +397,16 @@ func (e *engine) deliver(ds []delivery, t int) {
 	sc := e.ev
 	for _, d := range ds {
 		v := int(d.to)
-		if len(e.inbox[v]) == 0 {
-			sc.recv = append(sc.recv, v)
+		if e.live(v) {
+			if len(e.inbox[v]) == 0 {
+				sc.recv = append(sc.recv, v)
+			}
+			e.inbox[v] = append(e.inbox[v], Message{Port: int(d.port), Payload: d.pl})
+		} else {
+			// The receiver is down: the message is lost, but the sender
+			// already paid for it, so the full accounting below applies.
+			e.res.Dropped++
 		}
-		e.inbox[v] = append(e.inbox[v], Message{Port: int(d.port), Payload: d.pl})
 		bits := int(d.bits)
 		e.res.Bits += int64(bits)
 		if bits > e.res.MaxMsgBits {
@@ -412,20 +474,44 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 			continue
 		}
 		base := int(e.off[u])
-		if e.async {
+		dropActive := e.faults != nil && e.faults.fs.dropP > 0
+		if e.async || dropActive {
+			// Per-message path: each send consumes its link's sequence
+			// number (the shared coordinate of the drop predicate and the
+			// delay schedule), may be lost on the link, and otherwise
+			// lands in its own delivery bucket. With drops active in a
+			// synchronous mode the delay is the fixed one round.
+			scheduled := 0
 			for _, m := range ob {
 				p := int(m.port)
 				seq := sc.linkSeq[base+p]
 				sc.linkSeq[base+p] = seq + 1
-				d := e.delay.Delay(e.cfg.Seed, u, p, int(seq))
-				if d < 1 {
-					d = 1 // a custom schedule must not move time backwards
+				if dropActive && e.faults.fs.dropMsg(e.cfg.Seed, u, p, int(seq)) {
+					// Lost on the link: charged to the sender at drop
+					// time (delivery-time accounting never sees it), but
+					// it neither crosses the edge nor counts as activity.
+					e.res.Dropped++
+					e.res.Messages++
+					e.res.Bits += int64(m.bits)
+					if int(m.bits) > e.res.MaxMsgBits {
+						e.res.MaxMsgBits = int(m.bits)
+					}
+					continue
+				}
+				d := 1
+				if e.async {
+					d = e.delay.Delay(e.cfg.Seed, u, p, int(seq))
+					if d < 1 {
+						d = 1 // a custom schedule must not move time backwards
+					}
 				}
 				db := w.at(t + d)
 				db.deliveries = append(db.deliveries, delivery{
 					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
 				})
+				scheduled++
 			}
+			e.pendingMsgs += scheduled
 		} else {
 			db := w.at(t + 1)
 			for _, m := range ob {
@@ -434,8 +520,8 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
 				})
 			}
+			e.pendingMsgs += len(ob)
 		}
-		e.pendingMsgs += len(ob)
 		if e.sendCap > 0 {
 			for _, m := range ob {
 				e.sendCnt[base+int(m.port)] = 0

@@ -66,6 +66,9 @@ type Runner struct {
 	// Reusable event-engine state (timing wheel, active lists).
 	ev *evScratch
 
+	// Reusable fault-adversary state, built on the first faulty run.
+	faults *faultState
+
 	// Lazily-built validation/instrument scratch, recycled across runs.
 	idSeen map[int64]struct{}
 	watch  map[[2]int]bool
@@ -157,6 +160,9 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 	if cfg.DenseLoop && cfg.Mode == ASYNC {
 		return fmt.Errorf("%w: the dense loop cannot run the ASYNC model", ErrConfig)
 	}
+	if cfg.DenseLoop && cfg.Faults != nil {
+		return fmt.Errorf("%w: fault injection requires the event-driven engine", ErrConfig)
+	}
 	if cfg.Mode == ASYNC && cfg.Delay == nil {
 		cfg.Delay = UnitDelay()
 	}
@@ -177,7 +183,10 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 		}
 	}
 
-	// Reset the result shell, recycling its slices and maps.
+	// Reset the result shell, recycling its slices and maps. Crashed is
+	// reset to nil — the fault-free contract — with its capacity parked
+	// aside for faulty runs to reuse.
+	crashedScratch := out.Crashed[:0]
 	*out = Result{
 		Statuses:      out.Statuses[:0],
 		Leaders:       out.Leaders[:0],
@@ -210,6 +219,14 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 		e.ev = r.ev
 		e.async = cfg.Mode == ASYNC
 		e.delay = cfg.Delay
+		if cfg.Faults != nil {
+			if r.faults == nil {
+				r.faults = newFaultState(n)
+			}
+			r.faults.reset(cfg.Faults, cfg.Seed, n, maxRounds)
+			e.faults = r.faults
+			e.proto = p
+		}
 		for i := range r.ev.linkSeq {
 			r.ev.linkSeq[i] = 0
 		}
@@ -302,6 +319,12 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 		if !h {
 			out.Halted = false
 			break
+		}
+	}
+	if e.faults != nil {
+		out.Crashed = crashedScratch
+		for _, a := range e.faults.alive {
+			out.Crashed = append(out.Crashed, !a)
 		}
 	}
 	return nil

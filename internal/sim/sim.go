@@ -284,6 +284,13 @@ type Config struct {
 	// Delay is the asynchronous adversary's message-delay schedule. Only
 	// valid in ASYNC mode, where nil selects UnitDelay.
 	Delay DelaySchedule
+	// Faults is the fault adversary's schedule (crash-stop,
+	// crash-recovery, link drops, churn — see ParseFaults); nil means
+	// fault-free. Every injected fault is a pure function of Seed, so
+	// faulty runs replay byte-identically at any worker count. Fault
+	// injection needs the event-driven engine (incompatible with
+	// DenseLoop) and works in every mode.
+	Faults *FaultSchedule
 	// DenseLoop selects the legacy dense per-round scanner instead of the
 	// event-driven scheduler (synchronous modes only). The two engines
 	// produce identical results; the dense loop is kept as the reference
@@ -321,6 +328,18 @@ type Result struct {
 	MessagesBeforeCrossing int64
 	// PerEdge counts messages per normalized edge when CountPerEdge.
 	PerEdge map[[2]int]int64
+	// Crashed flags the nodes that were down when the run ended (nil for
+	// fault-free runs). A node that crashed and recovered is not flagged.
+	Crashed []bool
+	// Crashes and Recoveries count the applied node-down and node-up
+	// fault events (crash-stop crashes, churn leaves / recoveries, churn
+	// rejoins). Scheduled events the run ended before never count.
+	Crashes    int
+	Recoveries int
+	// Dropped counts messages lost to faults: link drops at send time
+	// plus deliveries to crashed nodes. Dropped messages still count
+	// toward Messages and Bits — the sender paid for them.
+	Dropped int64
 }
 
 // LeaderCount returns the number of elected nodes.
@@ -338,6 +357,30 @@ func (r *Result) UniqueLeader() bool {
 		}
 	}
 	return true
+}
+
+// UniqueLiveLeader reports the fault-tolerant success condition: exactly
+// one node that is still up at the end of the run is elected, and every
+// live node has decided. Crashed nodes are exempt — a dead leader or a
+// dead undecided node does not invalidate the election among the
+// survivors. For a fault-free run (no Crashed vector) it is UniqueLeader.
+func (r *Result) UniqueLiveLeader() bool {
+	if len(r.Crashed) != len(r.Statuses) {
+		return r.UniqueLeader()
+	}
+	leaders := 0
+	for u, s := range r.Statuses {
+		if r.Crashed[u] {
+			continue
+		}
+		switch s {
+		case Leader:
+			leaders++
+		case Undecided:
+			return false
+		}
+	}
+	return leaders == 1
 }
 
 // engine holds the mutable run state.
@@ -382,6 +425,12 @@ type engine struct {
 	delay   DelaySchedule
 	async   bool
 	crossed bool
+	// Fault adversary state (fault.go); nil for a fault-free run. Every
+	// fault branch in the engine is gated on this nil check, so the
+	// fault-free path executes exactly as it would without the subsystem.
+	faults *faultState
+	// proto rebuilds a node's process on reset-state recovery.
+	proto Protocol
 	// O(1) termination counters, maintained by the event loop's merge
 	// phase (the dense loop re-derives them by scanning).
 	pendingMsgs int
