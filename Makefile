@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build test test-race race bench bench-smoke bench-graph bench-faults sweep-smoke fmt fmt-check vet docs-check ci
+.PHONY: build test test-shuffle test-race race race-matrix bench bench-smoke bench-graph bench-faults bench-shard sweep-smoke fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The full suite in randomized test order: order-dependent state leaks
+# (a Runner not reset between runs, a package-level cache primed by an
+# earlier test) surface here before they flake elsewhere. Wired into the
+# main CI job.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -16,6 +23,18 @@ race:
 # into CI as its own job so engine-level data races surface on their own.
 test-race:
 	$(GO) test -race ./internal/sim/... ./internal/core/...
+
+# The sharded determinism matrix under the race detector: every
+# algorithm × model × fault schedule at shard counts 1/2/4/8, plus the
+# three-way engine differential and the harness shard×worker
+# byte-identity matrix. This is the strongest signal on the tick-barrier
+# protocol — a shard writing outside its node range is a data race here
+# long before it is a wrong answer anywhere else. GOMAXPROCS is pinned
+# above 1 because the engine skips the shard pool on a single-core
+# host; the race detector must see the concurrent dispatch path even
+# when the hardware would not take it.
+race-matrix:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestSharded|TestShardMatrix|TestThreeWay|TestSweepByteIdentical|TestSweepCSVIdentical' ./internal/sim ./internal/core ./internal/harness
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -50,6 +69,14 @@ bench-faults:
 	$(GO) test -run 'TestAllocBudgetLeastelFaultyRing' -v .
 	$(GO) test -bench 'EngineFaults' -benchtime 5x -benchmem -run='^$$' .
 
+# The sharded-engine measurement set (docs/PERFORMANCE.md): the sharded
+# allocation budget, the million-node ring wave at 1/2/4/8 shards, and
+# the 10M-node run. Used to regenerate BENCH_SHARDED_ENGINE.json.
+bench-shard:
+	$(GO) test -run 'TestAllocBudgetLeastelSharded' -v .
+	$(GO) test -bench 'EngineSharded$$' -benchtime 3x -benchmem -run='^$$' -timeout 30m .
+	$(GO) test -bench 'EngineSharded10M' -benchtime 1x -benchmem -run='^$$' -timeout 30m .
+
 # A tiny end-to-end sweep through the parallel harness: every registered
 # algorithm on two graph families, JSON document discarded after parsing.
 sweep-smoke:
@@ -76,4 +103,4 @@ docs-check: fmt-check vet
 	$(GO) test -run Example ./...
 
 # Everything the CI pipeline runs, in the same order.
-ci: fmt-check vet build race bench-smoke sweep-smoke docs-check
+ci: fmt-check vet build test-shuffle race race-matrix bench-smoke sweep-smoke docs-check

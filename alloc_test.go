@@ -127,6 +127,38 @@ func TestAllocBudgetLeastelFaultyRing(t *testing.T) {
 	}
 }
 
+// TestAllocBudgetLeastelSharded pins the sharded warm path to the same
+// per-round budget as the single-shard engine: shard scratch (wheels,
+// mailboxes, fault heaps, instrument maps) lives on the Runner and is
+// recycled across runs, and the tick/drain dispatch closures are built
+// once per run — so splitting the adversarial leastel run across 4
+// shards must not add a single steady-state allocation per round.
+func TestAllocBudgetLeastelSharded(t *testing.T) {
+	g := graph.Ring(512)
+	wake := adversarialWake(g.N())
+	ids := sim.PermutationIDs(g.N(), rand.New(rand.NewSource(3)))
+	prep, err := core.Prepare(g, "leastel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sim.Result
+	run := func() int {
+		err := prep.RunInto(core.RunOpts{
+			Seed: 7, IDs: ids, Wake: wake, MaxRounds: 1 << 15, Shards: 4,
+		}, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.UniqueLeader() {
+			t.Fatal("election failed")
+		}
+		return res.Rounds
+	}
+	if got := allocsPerRound(t, 2, run); got >= 20 {
+		t.Errorf("sharded leastel on ring:512: %.2f allocs/round, budget 20 (same as single-shard)", got)
+	}
+}
+
 // TestAllocBudgetGraphConstruction pins the CSR builders' allocation
 // budget: a family build performs O(1) allocations regardless of node
 // count or density — the Graph shell, the three flat CSR arrays

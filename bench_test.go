@@ -6,6 +6,7 @@
 package ule
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -523,6 +524,70 @@ func BenchmarkGraphMillionNodeWave(b *testing.B) {
 			b.Fatalf("wave broken: halted=%v messages=%d", res.Halted, res.Messages)
 		}
 	}
+}
+
+// BenchmarkEngineSharded is the sharded-engine scale probe: the
+// million-node ring wave of BenchmarkGraphMillionNodeWave, split across
+// 1/2/4/8 contiguous node shards. The transcript is byte-identical at
+// every count (the determinism matrix pins that); what this measures is
+// the wall-clock of the tick-barrier protocol — on a multi-core host the
+// wave time drops roughly linearly with shards until the per-tick
+// barrier dominates, and on a single-core host the single-shard inline
+// path and the sharded path must cost the same (the engine skips the
+// shard pool when GOMAXPROCS == 1). Recorded in BENCH_SHARDED_ENGINE.json
+// via `make bench-shard`.
+func BenchmarkEngineSharded(b *testing.B) {
+	const n = 1 << 20
+	g := graph.Ring(n)
+	wake := adversarialWake(n)
+	r, err := sim.NewRunner(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ring1M/shards=%d", shards), func(b *testing.B) {
+			var res sim.Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Config{Seed: int64(i), Wake: wake, MaxRounds: n, Shards: shards}
+				if err := r.RunInto(cfg, waveProto{}, &res); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Halted || res.Messages != int64(n+1) {
+					b.Fatalf("wave broken: halted=%v messages=%d", res.Halted, res.Messages)
+				}
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "rounds/s")
+		})
+	}
+}
+
+// BenchmarkEngineSharded10M is the 10-million-node run: one wave over
+// ring:10000000 through the sharded engine at 8 shards. It exists to
+// prove the engine's O(n) setup and O(1)-per-tick scheduling hold an
+// order of magnitude past the million-node probe; run with
+// -benchtime=1x (the bench-shard target does).
+func BenchmarkEngineSharded10M(b *testing.B) {
+	const n = 10_000_000
+	g := graph.Ring(n)
+	wake := adversarialWake(n)
+	r, err := sim.NewRunner(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res sim.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Seed: int64(i), Wake: wake, MaxRounds: n, Shards: 8}
+		if err := r.RunInto(cfg, waveProto{}, &res); err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted || res.Messages != int64(n+1) {
+			b.Fatalf("wave broken: halted=%v messages=%d", res.Halted, res.Messages)
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()*float64(b.N), "rounds/s")
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed (node-rounds/s).

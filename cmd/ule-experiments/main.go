@@ -80,13 +80,14 @@ func run(args []string) error {
 		delays   = fs.String("delays", "", "sweep mode: override the spec's async delay axis (comma-separated: unit,random:B,fifo:B)")
 		faults   = fs.String("faults", "", "sweep mode: override the spec's fault axis (comma-separated: none,crash:P,crashrec:P:D,drop:P,churn:P:K)")
 		diamEst  = fs.Bool("diam-estimate", false, "sweep mode: grant D-dependent algorithms graph.DiameterEstimate instead of the exact all-pairs diameter (for graphs too large for O(n·m))")
+		shards   = fs.Int("shards", 0, "sweep mode: override the spec's engine shard count (0 = keep spec value, -1 auto-size; results identical at any count)")
 		progress = fs.Bool("progress", true, "sweep mode: report progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sweep != "" {
-		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *faults, *diamEst, *progress)
+		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *faults, *diamEst, *shards, *progress)
 	}
 	d := &driver{quick: *quick, seed: *seed, trials: 10, csv: *csv, workers: *workers}
 	if *quick {
@@ -134,7 +135,7 @@ func run(args []string) error {
 }
 
 // runSweep executes one declarative sweep spec through the harness.
-func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride, faultsOverride string, diamEstimate, progress bool) error {
+func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride, faultsOverride string, diamEstimate bool, shards int, progress bool) error {
 	var spec harness.Spec
 	switch specArg {
 	case "builtin:smoke":
@@ -159,6 +160,9 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 	}
 	if diamEstimate {
 		spec.DiameterEstimate = true
+	}
+	if shards != 0 {
+		spec.Shards = shards
 	}
 	rc := harness.RunConfig{Workers: workers}
 	// Close errors must fail the sweep: the final buffered write can

@@ -182,6 +182,11 @@ type Params struct {
 	Delay string
 	// Parallel uses the multi-core engine.
 	Parallel bool
+	// Shards partitions the simulation into concurrently stepped node
+	// shards. Any value produces byte-identical results; 0/1 runs
+	// single-sharded and negative auto-sizes to the core count. See
+	// sim.Config.Shards.
+	Shards int
 	// Wake is the wake-up schedule (nil = simultaneous round 1).
 	Wake []int
 	// Opt tunes algorithm parameters.
@@ -197,6 +202,7 @@ func Elect(g *Graph, algorithm string, p Params) (*Result, error) {
 		D:         p.D,
 		MaxRounds: p.MaxRounds,
 		Parallel:  p.Parallel,
+		Shards:    p.Shards,
 		Wake:      p.Wake,
 		Opt:       p.Opt,
 	}

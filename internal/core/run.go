@@ -41,6 +41,12 @@ type RunOpts struct {
 	DenseLoop bool
 	// Parallel selects the goroutine runner.
 	Parallel bool
+	// Shards partitions the event engine into contiguous node shards that
+	// step concurrently and exchange cross-shard messages at tick
+	// barriers. Results are byte-identical at every shard count; see
+	// sim.Config.Shards for the exact semantics (0/1 = single shard,
+	// negative = auto-size to GOMAXPROCS).
+	Shards int
 	// Wake is the wake-up schedule (nil = simultaneous).
 	Wake []int
 	// WatchEdges and CountPerEdge enable the lower-bound instruments.
@@ -99,6 +105,7 @@ func (ro RunOpts) config(g *graph.Graph, spec Spec) (sim.Config, sim.Protocol, e
 		WatchEdges:    ro.WatchEdges,
 		CountPerEdge:  ro.CountPerEdge,
 		Parallel:      ro.Parallel,
+		Shards:        ro.Shards,
 		DenseLoop:     ro.DenseLoop,
 	}
 	return cfg, spec.New(ro.Opt), nil

@@ -50,6 +50,16 @@ func FromSpec(spec string, seed int64) (*Graph, error) {
 		return a, b, nil
 	}
 
+	// atLeast turns a family's documented minimum into a parse error, so
+	// the shared grammar is total: the constructors reserve panics for
+	// programmatic misuse, but a spec string is user input.
+	atLeast := func(v, min int, what string) error {
+		if v < min {
+			return fmt.Errorf("graph spec %q: %s must be >= %d", spec, what, min)
+		}
+		return nil
+	}
+
 	switch kind {
 	case "path", "ring", "star", "complete", "hypercube":
 		if err := wantParts(2, kind+":N"); err != nil {
@@ -61,14 +71,31 @@ func FromSpec(spec string, seed int64) (*Graph, error) {
 		}
 		switch kind {
 		case "path":
+			if err := atLeast(n, 1, "N"); err != nil {
+				return nil, err
+			}
 			return Path(n), nil
 		case "ring":
+			if err := atLeast(n, 3, "N"); err != nil {
+				return nil, err
+			}
 			return Ring(n), nil
 		case "star":
+			if err := atLeast(n, 1, "N"); err != nil {
+				return nil, err
+			}
 			return Star(n), nil
 		case "complete":
+			if err := atLeast(n, 1, "N"); err != nil {
+				return nil, err
+			}
 			return Complete(n), nil
 		default:
+			// 2^DIM nodes: reject dimensions whose node count cannot even
+			// be represented, before the shift wraps or the alloc explodes.
+			if n < 0 || n > 30 {
+				return nil, fmt.Errorf("graph spec %q: hypercube dimension out of range [0, 30]", spec)
+			}
 			return Hypercube(n), nil
 		}
 	case "grid", "torus", "bipartite":
@@ -77,6 +104,16 @@ func FromSpec(spec string, seed int64) (*Graph, error) {
 		}
 		a, b, err := pair(1)
 		if err != nil {
+			return nil, err
+		}
+		min := 1
+		if kind == "torus" {
+			min = 3
+		}
+		if err := atLeast(a, min, "A"); err != nil {
+			return nil, err
+		}
+		if err := atLeast(b, min, "B"); err != nil {
 			return nil, err
 		}
 		switch kind {
@@ -99,12 +136,21 @@ func FromSpec(spec string, seed int64) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := atLeast(a, 0, "A"); err != nil {
+			return nil, err
+		}
+		if err := atLeast(b, 0, "B"); err != nil {
+			return nil, err
+		}
 		switch kind {
 		case "random":
 			return RandomConnected(a, b, rand.New(rand.NewSource(seed)))
 		case "regular":
 			return RandomRegular(a, b, rand.New(rand.NewSource(seed)))
 		case "caterpillar":
+			if err := atLeast(a, 1, "SPINE"); err != nil {
+				return nil, err
+			}
 			return Caterpillar(a, b), nil
 		case "lollipop":
 			l, err := NewLollipop(a, b)

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fuzzSpecTooLarge bounds the graphs a fuzz iteration may build: any
+// numeric parameter above this is skipped (not rejected — large specs
+// are valid, just too expensive to construct millions of times).
+const fuzzSpecTooLarge = 512
+
+// FuzzFromSpec asserts the graph-spec grammar is total: any input either
+// errors cleanly or builds a structurally consistent graph — never a
+// panic, whatever sizes, separators or junk the spec carries.
+func FuzzFromSpec(f *testing.F) {
+	for _, seed := range []string{
+		"path:8",
+		"ring:64",
+		"star:12",
+		"complete:16",
+		"hypercube:6",
+		"grid:4x5",
+		"torus:3x3",
+		"bipartite:3x4",
+		"random:24:72",
+		"regular:16:4",
+		"caterpillar:6:3",
+		"lollipop:16:40",
+		"dumbbell:16:40",
+		"cliquecycle:32:8",
+		"",
+		"ring",
+		"ring:2",
+		"ring:-5",
+		"ring:junk",
+		"grid:4",
+		"grid:4x",
+		"grid:x5",
+		"grid:-1x-1",
+		"torus:2x9",
+		"hypercube:40",
+		"hypercube:-1",
+		"random:5:99",
+		"random:0:0",
+		"regular:5:5",
+		"nosuch:3",
+		"path:3:4",
+		"ring:064",
+		"ring:+3",
+		"complete:1",
+	} {
+		f.Add(seed, int64(1))
+	}
+	f.Fuzz(func(t *testing.T, spec string, seed int64) {
+		// Skip (don't reject) oversized parameters: building the graph
+		// would be valid but too slow/large for a fuzz iteration. The
+		// scan mirrors the parser's number extraction over both ':' and
+		// 'x' separators.
+		for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ':' || r == 'x' }) {
+			if v, err := strconv.Atoi(part); err == nil && (v > fuzzSpecTooLarge || v < -fuzzSpecTooLarge) {
+				t.Skip("parameter out of fuzz budget")
+			}
+		}
+		g, err := FromSpec(spec, seed)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("FromSpec(%q) returned both a graph and error %v", spec, err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatalf("FromSpec(%q) returned nil graph and nil error", spec)
+		}
+		// Structural consistency of the CSR form: degree sum is twice the
+		// edge count, and every port is a valid reciprocal link.
+		degSum := 0
+		for u := 0; u < g.N(); u++ {
+			deg := g.Degree(u)
+			degSum += deg
+			for p := 0; p < deg; p++ {
+				v := g.Neighbor(u, p)
+				if v < 0 || v >= g.N() || v == u {
+					t.Fatalf("FromSpec(%q): node %d port %d points at %d (n=%d)", spec, u, p, v, g.N())
+				}
+				if back := g.PortBack(u, p); g.Neighbor(v, back) != u {
+					t.Fatalf("FromSpec(%q): reverse port of (%d,%d) broken", spec, u, p)
+				}
+			}
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("FromSpec(%q): degree sum %d != 2m = %d", spec, degSum, 2*g.M())
+		}
+	})
+}

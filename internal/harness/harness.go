@@ -326,6 +326,7 @@ func finishTrial(p *plan, t Trial, g *graph.Graph, prep *core.Prepared, ws *work
 		MaxRounds: p.spec.MaxRounds,
 		Model:     t.Model(),
 		Wake:      wakeSchedule(t.Wake, g.N(), t.Seed),
+		Shards:    p.spec.Shards,
 		Opt:       p.spec.Opt,
 	}
 	if prep.Spec().NeedsD {

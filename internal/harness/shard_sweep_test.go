@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runToCSV(t *testing.T, spec Spec, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rep, err := Run(spec, RunConfig{Workers: workers, Emitters: []Emitter{NewCSVEmitter(&buf)}})
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sweep reported %d trial errors", rep.Errors)
+	}
+	return buf.String()
+}
+
+// TestSweepByteIdenticalAcrossShardWorkerMatrix is the ISSUE's harness
+// acceptance criterion: the emitted JSON of a fault-injected sweep is
+// byte-identical at every (shards, workers) combination in {1,2,4,8}².
+// The spec echo records the Shards knob, so the comparison trims the
+// header down to the trial stream + report — the experiment data proper.
+func TestSweepByteIdenticalAcrossShardWorkerMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-run sweep matrix")
+	}
+	spec := Spec{
+		Name:      "shard-worker-matrix",
+		Algos:     []string{"leastel", "flood"},
+		Graphs:    []string{"ring:24", "random:32:96"},
+		Modes:     []string{"congest", "async"},
+		Faults:    []string{"none", "crash:0.2", "crashrec:0.2:16"},
+		Trials:    2,
+		Seed:      13,
+		MaxRounds: 1 << 12,
+	}
+	trim := func(b []byte) string {
+		s := string(b)
+		if i := strings.Index(s, "\n\"trials\":["); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	var ref string
+	for _, shards := range []int{1, 2, 4, 8} {
+		s := spec
+		s.Shards = shards
+		for _, workers := range []int{1, 2, 4, 8} {
+			out, rep := runToJSON(t, s, workers)
+			if rep.Errors != 0 {
+				t.Fatalf("shards=%d workers=%d: %d trial errors", shards, workers, rep.Errors)
+			}
+			got := trim(out)
+			if ref == "" {
+				ref = got
+			} else if got != ref {
+				t.Fatalf("sweep output diverges at shards=%d workers=%d (%d vs %d bytes)",
+					shards, workers, len(ref), len(got))
+			}
+		}
+	}
+}
+
+// TestSweepCSVIdenticalAcrossShards covers the second emitter: the CSV
+// trial stream has no spec echo at all, so it must match exactly.
+func TestSweepCSVIdenticalAcrossShards(t *testing.T) {
+	spec := Spec{
+		Name:      "shard-csv",
+		Algos:     []string{"leastel"},
+		Graphs:    []string{"random:32:96"},
+		Faults:    []string{"churn:0.2:8"},
+		Trials:    3,
+		Seed:      5,
+		MaxRounds: 1 << 12,
+	}
+	var ref string
+	for _, shards := range []int{1, 2, 4, 8} {
+		s := spec
+		s.Shards = shards
+		out := runToCSV(t, s, 4)
+		if ref == "" {
+			ref = out
+		} else if out != ref {
+			t.Fatalf("CSV output diverges at shards=%d", shards)
+		}
+	}
+}

@@ -74,6 +74,13 @@ type Spec struct {
 	// an under-estimate changes what the algorithm is told, so trials with
 	// this flag are labeled by it in the emitted spec.
 	DiameterEstimate bool `json:"diameter_estimate,omitempty"`
+	// Shards partitions each trial's event engine into concurrently
+	// stepped node shards (sim.Config.Shards: 0/1 single shard, negative
+	// auto-sizes to GOMAXPROCS). Emitted output is byte-identical at
+	// every shard count, so this is a pure execution knob like
+	// RunConfig.Workers — but it is part of the spec echo, so two sweeps
+	// differing only in Shards differ in the emitted spec header.
+	Shards int `json:"shards,omitempty"`
 	// Opt tunes the algorithms (shared by every trial).
 	Opt core.Options `json:"opt,omitempty"`
 }

@@ -9,6 +9,14 @@
 // phases) cheap; quiescence detection is O(1) per tick via counters
 // instead of O(n) scans.
 //
+// The queue is partitioned into Config.Shards contiguous node shards
+// (shard.go), each owning a private wheel, scratch lists and fault heap;
+// within a tick the shards step concurrently and exchange cross-shard
+// deliveries at the barrier. Every function in this file that takes an
+// *engineShard runs shard-local — it touches only the shard's own nodes'
+// rows — while loopEvent and the fold/selection helpers run on the
+// coordinator between barriers.
+//
 // In the synchronous modes (CONGEST/LOCAL) every awake node carries an
 // implicit per-round timer — protocols may count rounds while silent — so
 // the observable behaviour is identical to the dense loop; the savings
@@ -36,7 +44,7 @@ type delivery struct {
 // woken by a message is dead, while a timer steps its — awake — node in
 // ASYNC mode). wakeAll is the common "everyone wakes in round 1"
 // schedule, kept implicit to avoid materializing an n-element slice per
-// run.
+// run (each shard's wheel interprets it over its own node range).
 type tickBucket struct {
 	deliveries []delivery
 	wakes      []int
@@ -51,40 +59,6 @@ func (b *tickBucket) clear() {
 	b.wakeAll = false
 }
 
-// evScratch is the reusable event-engine state owned by a Runner.
-type evScratch struct {
-	wheel *timingWheel
-
-	active   []int // sorted awake node ids (synchronous modes)
-	stepSet  []int
-	recv     []int // nodes that received a delivery this tick
-	wake     []int // wake candidates this tick
-	mergeBuf []int
-
-	linkSeq     []int32 // flat per (node, port) message sequence numbers (ASYNC)
-	wakeAt      []int   // per-node pending RequestWake target tick (0 = none)
-	haltCounted []bool  // per-node: halt already merged into the counters
-}
-
-func newEvScratch(n, ports int) *evScratch {
-	return &evScratch{
-		wheel:       newTimingWheel(),
-		linkSeq:     make([]int32, ports),
-		wakeAt:      make([]int, n),
-		haltCounted: make([]bool, n),
-	}
-}
-
-// reset clears every per-run field. The flat per-port and per-node rows
-// (linkSeq, wakeAt, haltCounted) are cleared by the Runner's reset.
-func (sc *evScratch) reset() {
-	sc.wheel.reset()
-	sc.active = sc.active[:0]
-	sc.stepSet = sc.stepSet[:0]
-	sc.recv = sc.recv[:0]
-	sc.wake = sc.wake[:0]
-}
-
 // wakeRound returns node u's configured spontaneous wake round (1 when no
 // schedule is set, <= 0 for wake-on-message).
 func (e *engine) wakeRound(u int) int {
@@ -94,26 +68,31 @@ func (e *engine) wakeRound(u int) int {
 	return e.cfg.Wake[u]
 }
 
-// live reports whether node u is up. Fault-free runs have no fault state
-// and every node is up forever.
+// live reports whether node u is up. Fault-free runs have no membership
+// vector and every node is up forever.
 func (e *engine) live(u int) bool {
-	return e.faults == nil || e.faults.alive[u]
+	return e.fAlive == nil || e.fAlive[u]
 }
 
-// loopEvent is the event-driven main loop.
+// loopEvent is the event-driven main loop (the coordinator). It selects
+// the next virtual-time tick from the shards' queues, runs the tick
+// (concurrently across shards), and tests quiescence on summed counters.
 func (e *engine) loopEvent(maxRounds int) {
 	n := e.g.N()
-	w := e.ev.wheel
 	e.crossed = len(e.watch) == 0
 
-	// Spontaneous wake-ups become timer events. Wakes past the round cap
-	// can never fire (the dense loop never reaches them either).
-	if e.cfg.Wake == nil {
-		w.at(1).wakeAll = true
-	} else {
-		for u := 0; u < n; u++ {
+	// Spontaneous wake-ups become timer events in their owner's wheel.
+	// Wakes past the round cap can never fire (the dense loop never
+	// reaches them either).
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if e.cfg.Wake == nil {
+			sh.wheel.at(1).wakeAll = true
+			continue
+		}
+		for u := sh.lo; u < sh.hi; u++ {
 			if wr := e.cfg.Wake[u]; wr > 0 && wr <= maxRounds {
-				b := w.at(wr)
+				b := sh.wheel.at(wr)
 				b.wakes = append(b.wakes, u)
 			}
 		}
@@ -121,43 +100,53 @@ func (e *engine) loopEvent(maxRounds int) {
 
 	t := 0
 	for {
-		var next int
-		if e.async || e.numRunning == 0 {
-			// The queue decides the next tick, so discard buckets whose
+		running := 0
+		for i := range e.shards {
+			running += e.shards[i].numRunning
+		}
+		if e.async || running == 0 {
+			// The queues decide the next tick, so discard buckets whose
 			// events have all gone stale first — a leftover scheduled
 			// wake-up for a node that a message woke earlier must not
 			// keep the run alive or inflate Rounds.
+			e.pendingUpAll = e.pendingUp()
 			e.pruneDeadEvents()
 		}
+		var next int
 		switch {
-		case !e.async && e.numRunning > 0:
+		case !e.async && running > 0:
 			// Synchronous semantics: awake nodes are stepped every round,
 			// so virtual time cannot skip ahead (pending fault events due
 			// by t+1 are applied at the start of tick t+1).
 			next = t + 1
-		case !w.empty():
-			next = w.minTick()
-			// Fault events are applied at the tick they are due, so a
-			// membership change cannot be skipped over.
-			if e.faults != nil && len(e.faults.heap) > 0 && e.faults.heap[0].tick < next {
-				next = e.faults.heap[0].tick
-			}
-		case e.faults != nil && e.faults.pendingUp > 0:
-			// Quiet network, but a crashed node is scheduled to come back:
-			// a rejoining node can revive the run, so jump to the earliest
-			// recovery (crash events due before it apply the same tick).
-			next = e.faults.nextRevive()
 		default:
-			// Nothing in flight, nothing scheduled, nobody running: the
-			// network is dead. Fault events without a pending recovery
-			// cannot revive it — crashes scheduled past this point never
-			// fire. A network dead on arrival still "runs" its first
-			// round, matching the dense loop's accounting.
-			if t == 0 {
-				t = 1
+			wm, ok := e.minPendingTick()
+			switch {
+			case ok:
+				next = wm
+				// Fault events are applied at the tick they are due, so a
+				// membership change cannot be skipped over.
+				if fm, have := e.minFaultTick(); have && fm < next {
+					next = fm
+				}
+			case e.pendingUp() > 0:
+				// Quiet network, but a crashed node is scheduled to come
+				// back: a rejoining node can revive the run, so jump to the
+				// earliest recovery (crash events due before it apply the
+				// same tick).
+				next = e.nextRevive()
+			default:
+				// Nothing in flight, nothing scheduled, nobody running: the
+				// network is dead. Fault events without a pending recovery
+				// cannot revive it — crashes scheduled past this point never
+				// fire. A network dead on arrival still "runs" its first
+				// round, matching the dense loop's accounting.
+				if t == 0 {
+					t = 1
+				}
+				e.res.Rounds = t
+				return
 			}
-			e.res.Rounds = t
-			return
 		}
 		if next > maxRounds {
 			e.res.Rounds = maxRounds
@@ -165,19 +154,32 @@ func (e *engine) loopEvent(maxRounds int) {
 			return
 		}
 		t = next
-		e.tick(t)
+		e.runTick(t)
 		if e.err != nil {
 			return
 		}
-		if e.pendingMsgs == 0 && (e.faults == nil || e.faults.pendingUp == 0) {
+		pendingMsgs := 0
+		for i := range e.shards {
+			pendingMsgs += e.shards[i].pendingMsgs
+		}
+		if pendingMsgs == 0 && e.pendingUp() == 0 {
 			// With a recovery pending the run is never over: the rejoining
 			// node re-enters (with reset state it even re-Starts), so every
 			// quiescence test below would be premature.
-			if e.numHalted == n {
+			halted, runningNow, wheelsEmpty := 0, 0, true
+			for i := range e.shards {
+				sh := &e.shards[i]
+				halted += sh.numHalted
+				runningNow += sh.numRunning
+				if !sh.wheel.empty() {
+					wheelsEmpty = false
+				}
+			}
+			if halted == n {
 				e.res.Rounds = t
 				return
 			}
-			if e.numRunning == 0 && w.empty() {
+			if runningNow == 0 && wheelsEmpty {
 				// Only never-woken sleepers remain and no event is queued.
 				e.res.Rounds = t
 				return
@@ -199,27 +201,44 @@ func (e *engine) loopEvent(maxRounds int) {
 // dead, unless a recovery is pending anywhere: the node might be back up
 // by the bucket's tick, so pruning stays conservative then. Liveness only
 // ever decays, so a discarded bucket could never have done anything.
+//
+// The scan runs over the globally earliest pending bucket each
+// iteration — exactly the order a single queue would present — and stops
+// at the first live one, so the shard layout cannot change which buckets
+// are dropped before a given tick is selected.
 func (e *engine) pruneDeadEvents() {
-	w := e.ev.wheel
-	for !w.empty() {
-		t := w.minTick()
-		b := w.peek(t)
+	for {
+		var sh *engineShard
+		best := 0
+		for i := range e.shards {
+			s := &e.shards[i]
+			if s.wheel.empty() {
+				continue
+			}
+			if mt := s.wheel.minTick(); sh == nil || mt < best {
+				sh, best = s, mt
+			}
+		}
+		if sh == nil {
+			return
+		}
+		b := sh.wheel.peek(best)
 		if len(b.deliveries) > 0 || b.wakeAll {
 			return
 		}
 		for _, u := range b.wakes {
-			if !e.awake[u] && (e.live(u) || e.faults.pendingUp > 0) {
+			if !e.awake[u] && (e.live(u) || e.pendingUpAll > 0) {
 				return
 			}
 		}
 		if e.async {
 			for _, u := range b.timers {
-				if !e.halted[u] && (e.live(u) || e.faults.pendingUp > 0) {
+				if !e.halted[u] && (e.live(u) || e.pendingUpAll > 0) {
 					return
 				}
 			}
 		}
-		w.drop(t)
+		sh.wheel.drop(best)
 	}
 }
 
@@ -235,40 +254,44 @@ func (e *engine) allDecided() bool {
 	return true
 }
 
-// tick processes every event scheduled for tick t and steps the nodes
-// those events (plus, in synchronous modes, the implicit per-round
-// timers) touch.
-func (e *engine) tick(t int) {
-	sc := e.ev
-	e.round = t
-	sc.recv = sc.recv[:0]
-	sc.wake = sc.wake[:0]
+// tickShard processes every event scheduled for tick t in one shard and
+// steps the nodes those events (plus, in synchronous modes, the implicit
+// per-round timers) touch. Shard-local: every row it writes belongs to
+// one of the shard's own nodes, so shards run this concurrently.
+func (e *engine) tickShard(sh *engineShard, t int) {
+	sh.recv = sh.recv[:0]
+	sh.wake = sh.wake[:0]
 	if e.async {
-		sc.stepSet = sc.stepSet[:0]
+		sh.stepSet = sh.stepSet[:0]
 	}
+	if e.watch != nil {
+		sh.deliveredTick, sh.sendDropTick, sh.crossedTick = 0, 0, false
+	}
+	sh.errStarted, sh.errStep = nil, nil
+
 	// Membership changes first: a node crashed at t misses t's deliveries
 	// and wake-ups, a node recovered at t takes part in them.
-	if e.faults != nil {
-		e.faults.revived = e.faults.revived[:0]
-		e.applyFaults(t)
+	if sh.faults != nil {
+		sh.faults.revived = sh.faults.revived[:0]
+		e.applyFaults(sh, t)
 	}
 
-	sc.wheel.advance(t)
-	b := sc.wheel.takeCurrent(t)
+	sh.wheel.advance(t)
+	b := sh.wheel.takeCurrent(t)
 	if b != nil {
-		e.deliver(b.deliveries, t)
+		e.deliver(sh, b.deliveries, t)
 		// Scheduled wake-ups rouse (live) sleepers; a wake for a node
 		// that a message woke earlier is dead.
 		if b.wakeAll {
-			for u := 0; u < e.g.N(); u++ {
+			for u := sh.lo; u < sh.hi; u++ {
 				if !e.awake[u] && e.live(u) {
-					sc.wake = append(sc.wake, u)
+					sh.wake = append(sh.wake, u)
 				}
 			}
 		} else {
 			for _, u := range b.wakes {
 				if !e.awake[u] && e.live(u) {
-					sc.wake = append(sc.wake, u)
+					sh.wake = append(sh.wake, u)
 				}
 			}
 		}
@@ -277,36 +300,36 @@ func (e *engine) tick(t int) {
 		if e.async {
 			for _, u := range b.timers {
 				if e.awake[u] && !e.halted[u] && e.live(u) {
-					sc.stepSet = append(sc.stepSet, u)
+					sh.stepSet = append(sh.stepSet, u)
 				}
 			}
 		}
 		b.clear()
 	}
 	// Deliveries wake sleeping receivers.
-	for _, v := range sc.recv {
+	for _, v := range sh.recv {
 		if !e.awake[v] {
-			sc.wake = append(sc.wake, v)
+			sh.wake = append(sh.wake, v)
 		}
 	}
 
 	// Start phase: newly-woken nodes, in ascending node order (matching
-	// the dense loop's phase 2). sc.wake may hold duplicates; the awake
+	// the dense loop's phase 2). sh.wake may hold duplicates; the awake
 	// check deduplicates. started keeps the nodes actually woken.
-	sort.Ints(sc.wake)
-	started := sc.wake[:0]
-	for _, u := range sc.wake {
+	sort.Ints(sh.wake)
+	started := sh.wake[:0]
+	for _, u := range sh.wake {
 		if e.awake[u] {
 			continue
 		}
 		e.awake[u] = true
-		e.numRunning++
+		sh.numRunning++
 		wr := e.wakeRound(u)
 		spont := wr > 0 && t >= wr && len(e.inbox[u]) == 0
-		if e.faults != nil && e.faults.rejoined[u] {
+		if e.fRejoined != nil && e.fRejoined[u] {
 			// A reset-state rejoin is a spontaneous (re)start regardless
 			// of the wake schedule — unless a message arrived this tick.
-			e.faults.rejoined[u] = false
+			e.fRejoined[u] = false
 			spont = len(e.inbox[u]) == 0
 		}
 		e.ctxs[u].spontaneous = spont
@@ -322,36 +345,36 @@ func (e *engine) tick(t int) {
 		// in and halted or crashed nodes compacted out (nodes may have
 		// halted during Start just above).
 		if len(started) > 0 {
-			sc.active = mergeSorted(sc.active, started, &sc.mergeBuf)
+			sh.active = mergeSorted(sh.active, started, &sh.mergeBuf)
 		}
-		if e.faults != nil && len(e.faults.revived) > 0 {
-			rv := e.faults.revived[:0]
-			for _, u := range e.faults.revived {
+		if sh.faults != nil && len(sh.faults.revived) > 0 {
+			rv := sh.faults.revived[:0]
+			for _, u := range sh.faults.revived {
 				// Guard against a node that was never compacted out (its
 				// crash and revival applied at one processed tick).
-				if i := sort.SearchInts(sc.active, u); i == len(sc.active) || sc.active[i] != u {
+				if i := sort.SearchInts(sh.active, u); i == len(sh.active) || sh.active[i] != u {
 					rv = append(rv, u)
 				}
 			}
 			if len(rv) > 0 {
 				sort.Ints(rv)
-				sc.active = mergeSorted(sc.active, rv, &sc.mergeBuf)
+				sh.active = mergeSorted(sh.active, rv, &sh.mergeBuf)
 			}
 		}
 		w := 0
-		for _, u := range sc.active {
+		for _, u := range sh.active {
 			if !e.halted[u] && e.live(u) {
-				sc.active[w] = u
+				sh.active[w] = u
 				w++
 			}
 		}
-		sc.active = sc.active[:w]
-		step = sc.active
+		sh.active = sh.active[:w]
+		step = sh.active
 	} else {
 		// ASYNC: exactly the nodes an event touched — receivers, fired
 		// timers, and fresh wake-ups.
-		cand := append(sc.stepSet, started...)
-		cand = append(cand, sc.recv...)
+		cand := append(sh.stepSet, started...)
+		cand = append(cand, sh.recv...)
 		sort.Ints(cand)
 		w, prev := 0, -1
 		for _, u := range cand {
@@ -362,8 +385,8 @@ func (e *engine) tick(t int) {
 			cand[w] = u
 			w++
 		}
-		sc.stepSet = cand[:w]
-		step = sc.stepSet
+		sh.stepSet = cand[:w]
+		step = sh.stepSet
 	}
 
 	// Step phase.
@@ -376,96 +399,103 @@ func (e *engine) tick(t int) {
 	}
 
 	// Merge phase: fold each touched node's private scratch (errors,
-	// status changes, halts, timer requests) into the engine, and flush
+	// status changes, halts, timer requests) into the shard, and flush
 	// its outbox into future delivery events. started ⊆ step except for
 	// nodes that halted inside Start, so visiting both lists covers every
 	// touched node; all merges are idempotent across the overlap.
-	e.mergeAndFlush(started, t)
-	e.mergeAndFlush(step, t)
+	e.mergeAndFlush(sh, started, t, true)
+	e.mergeAndFlush(sh, step, t, false)
 
 	// Consumed inboxes are reset for the next delivery.
-	for _, v := range sc.recv {
+	for _, v := range sh.recv {
 		e.inbox[v] = e.inbox[v][:0]
 	}
 }
 
-// deliver applies one tick's message arrivals: inbox building, sorting,
-// and the full accounting (totals, per-edge counts, watched crossings) at
-// delivery time, exactly like the dense loop's phase 1. Payload sizes
-// come from the send-time cache in the delivery records.
-func (e *engine) deliver(ds []delivery, t int) {
-	sc := e.ev
+// deliver applies one tick's message arrivals to one shard's nodes:
+// inbox building, sorting, and the full accounting (totals, per-edge
+// counts, watched crossings) at delivery time, exactly like the dense
+// loop's phase 1. Payload sizes come from the send-time cache in the
+// delivery records.
+func (e *engine) deliver(sh *engineShard, ds []delivery, t int) {
 	for _, d := range ds {
 		v := int(d.to)
 		if e.live(v) {
 			if len(e.inbox[v]) == 0 {
-				sc.recv = append(sc.recv, v)
+				sh.recv = append(sh.recv, v)
 			}
 			e.inbox[v] = append(e.inbox[v], Message{Port: int(d.port), Payload: d.pl})
 		} else {
 			// The receiver is down: the message is lost, but the sender
 			// already paid for it, so the full accounting below applies.
-			e.res.Dropped++
+			sh.dropped++
 		}
 		bits := int(d.bits)
-		e.res.Bits += int64(bits)
-		if bits > e.res.MaxMsgBits {
-			e.res.MaxMsgBits = bits
+		sh.bits += int64(bits)
+		if bits > sh.maxMsgBits {
+			sh.maxMsgBits = bits
 		}
-		if e.perEdge != nil || e.watch != nil {
+		if sh.pe != nil || e.watch != nil {
 			key := normPair(v, int(e.nbr[int(e.off[v])+int(d.port)]))
-			if e.perEdge != nil {
-				e.perEdge[key]++
+			if sh.pe != nil {
+				sh.pe[key]++
 			}
 			if e.watch != nil && e.watch[key] {
-				if e.res.FirstCrossing[key] == 0 {
-					e.res.FirstCrossing[key] = t
+				if cur, ok := sh.fc[key]; !ok || t < cur {
+					sh.fc[key] = t
 				}
-				e.crossed = true
+				sh.crossedTick = true
 			}
 		}
 	}
-	e.pendingMsgs -= len(ds)
-	e.res.Messages += int64(len(ds))
-	if len(ds) > 0 {
-		e.res.LastActive = t
+	sh.pendingMsgs -= len(ds)
+	sh.msgs += int64(len(ds))
+	if e.watch != nil {
+		sh.deliveredTick += int64(len(ds))
 	}
-	if !e.crossed {
-		e.res.MessagesBeforeCrossing = e.res.Messages
+	if len(ds) > 0 {
+		sh.lastActive = t
 	}
 	// Deterministic inbox order: ascending receiving port, preserving
 	// per-link send order within a port.
-	for _, v := range sc.recv {
+	for _, v := range sh.recv {
 		sortInboxByPort(e.inbox[v])
 	}
 }
 
-// mergeAndFlush folds the private scratch of each node in list into the
-// engine state and schedules its outgoing messages. Safe to call on
-// overlapping lists: every merge is guarded or self-clearing.
-func (e *engine) mergeAndFlush(list []int, t int) {
-	sc := e.ev
-	w := sc.wheel
+// mergeAndFlush folds the private scratch of each node in list into its
+// shard and schedules the node's outgoing messages (through the wheel or
+// the cross-shard mailboxes). Safe to call on overlapping lists: every
+// merge is guarded or self-clearing. startPhase tags which merge phase a
+// model-violation error surfaced in, so the coordinator's fold can pick
+// the same error the single-shard merge order would.
+func (e *engine) mergeAndFlush(sh *engineShard, list []int, t int, startPhase bool) {
 	for _, u := range list {
-		if e.nodeErr[u] != nil && e.err == nil {
-			e.err = e.nodeErr[u]
+		if e.nodeErr[u] != nil {
+			if startPhase {
+				if sh.errStarted == nil {
+					sh.errStarted = e.nodeErr[u]
+				}
+			} else if sh.errStep == nil {
+				sh.errStep = e.nodeErr[u]
+			}
 		}
 		if e.changed[u] {
 			e.changed[u] = false
-			e.res.LastActive = t
+			sh.lastActive = t
 		}
-		if e.halted[u] && !sc.haltCounted[u] {
-			sc.haltCounted[u] = true
-			e.numHalted++
-			e.numRunning--
+		if e.halted[u] && !e.haltCounted[u] {
+			e.haltCounted[u] = true
+			sh.numHalted++
+			sh.numRunning--
 		}
-		if at := sc.wakeAt[u]; at != 0 {
-			sc.wakeAt[u] = 0
+		if at := e.wakeAt[u]; at != 0 {
+			e.wakeAt[u] = 0
 			if at <= t {
 				at = t + 1
 			}
 			if at <= e.maxTick {
-				bw := w.at(at)
+				bw := sh.wheel.at(at)
 				bw.timers = append(bw.timers, u)
 			}
 		}
@@ -474,27 +504,29 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 			continue
 		}
 		base := int(e.off[u])
-		dropActive := e.faults != nil && e.faults.fs.dropP > 0
+		dropActive := e.fsched != nil && e.fsched.dropP > 0
 		if e.async || dropActive {
 			// Per-message path: each send consumes its link's sequence
 			// number (the shared coordinate of the drop predicate and the
 			// delay schedule), may be lost on the link, and otherwise
 			// lands in its own delivery bucket. With drops active in a
 			// synchronous mode the delay is the fixed one round.
-			scheduled := 0
 			for _, m := range ob {
 				p := int(m.port)
-				seq := sc.linkSeq[base+p]
-				sc.linkSeq[base+p] = seq + 1
-				if dropActive && e.faults.fs.dropMsg(e.cfg.Seed, u, p, int(seq)) {
+				seq := e.linkSeq[base+p]
+				e.linkSeq[base+p] = seq + 1
+				if dropActive && e.fsched.dropMsg(e.cfg.Seed, u, p, int(seq)) {
 					// Lost on the link: charged to the sender at drop
 					// time (delivery-time accounting never sees it), but
 					// it neither crosses the edge nor counts as activity.
-					e.res.Dropped++
-					e.res.Messages++
-					e.res.Bits += int64(m.bits)
-					if int(m.bits) > e.res.MaxMsgBits {
-						e.res.MaxMsgBits = int(m.bits)
+					sh.dropped++
+					sh.msgs++
+					sh.bits += int64(m.bits)
+					if int(m.bits) > sh.maxMsgBits {
+						sh.maxMsgBits = int(m.bits)
+					}
+					if e.watch != nil {
+						sh.sendDropTick++
 					}
 					continue
 				}
@@ -505,22 +537,28 @@ func (e *engine) mergeAndFlush(list []int, t int) {
 						d = 1 // a custom schedule must not move time backwards
 					}
 				}
-				db := w.at(t + d)
-				db.deliveries = append(db.deliveries, delivery{
+				e.route(sh, t+d, delivery{
 					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
 				})
-				scheduled++
 			}
-			e.pendingMsgs += scheduled
-		} else {
-			db := w.at(t + 1)
+		} else if len(e.shards) == 1 {
+			// Single shard, synchronous, lossless: batch straight into the
+			// next tick's bucket without per-message routing.
+			db := sh.wheel.at(t + 1)
 			for _, m := range ob {
 				p := int(m.port)
 				db.deliveries = append(db.deliveries, delivery{
 					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
 				})
 			}
-			e.pendingMsgs += len(ob)
+			sh.pendingMsgs += len(ob)
+		} else {
+			for _, m := range ob {
+				p := int(m.port)
+				e.route(sh, t+1, delivery{
+					to: e.nbr[base+p], port: e.portBack[base+p], bits: m.bits, pl: m.pl,
+				})
+			}
 		}
 		if e.sendCap > 0 {
 			for _, m := range ob {
@@ -552,9 +590,10 @@ func mergeSorted(a, b []int, buf *[]int) []int {
 	return out
 }
 
-// stepListParallel runs one tick's node steps on the run's worker pool.
-// Each node's step touches only its own state, so this is race-free and
-// produces exactly the sequential results.
+// stepListParallel runs one tick's node steps on the run's worker pool
+// (single-shard Config.Parallel runs only; multi-shard runs parallelize
+// across shards instead). Each node's step touches only its own state, so
+// this is race-free and produces exactly the sequential results.
 func (e *engine) stepListParallel(list []int) {
 	e.pool.run(len(list), func(i int) {
 		u := list[i]

@@ -302,17 +302,20 @@ func faultEventLess(a, b faultEvent) bool {
 	return a.kind < b.kind
 }
 
-// faultState is the per-run fault machinery, owned by a Runner and
-// recycled across runs (its slices are allocated once and reset). It is
-// only attached to the engine when the run's Config carries a schedule,
-// so the fault-free path never touches it.
+// faultState is one shard's slice of the fault adversary, owned by its
+// engineShard and recycled across runs (its slices are allocated once
+// and reset). It holds the fault-event heap and pending-recovery counter
+// for the shard's node range [lo, hi); the global membership vectors
+// (alive/rejoined) live on the engine, shared by all shards but written
+// only by each node's owner. A shard's faultState is only attached when
+// the run's Config carries a schedule, so the fault-free path never
+// touches it.
 type faultState struct {
 	fs   *FaultSchedule
 	seed int64
 
-	alive    []bool // alive[u]: node u is currently up
-	rejoined []bool // rejoined[u]: u Start()s this tick because it rejoined
-	revived  []int  // keep-state revivals to splice back into the step sets
+	lo, hi  int   // owned node range
+	revived []int // keep-state revivals to splice back into the step sets
 
 	heap      []faultEvent // min-heap by (tick, node, kind)
 	pendingUp int          // queued fvRecover events (they can revive a quiet run)
@@ -320,35 +323,27 @@ type faultState struct {
 	maxTick int
 }
 
-func newFaultState(n int) *faultState {
-	return &faultState{
-		alive:    make([]bool, n),
-		rejoined: make([]bool, n),
-	}
-}
-
 // reset re-arms the state for one run and seeds the initial event heap
-// from the schedule.
-func (fst *faultState) reset(fs *FaultSchedule, seed int64, n, maxTick int) {
+// from the schedule, restricted to the shard's node range. The per-node
+// fault coordinates depend only on (seed, u), so the heap a shard seeds
+// is exactly the [lo, hi) slice of the single-shard heap.
+func (fst *faultState) reset(fs *FaultSchedule, seed int64, lo, hi, maxTick int) {
 	fst.fs = fs
 	fst.seed = seed
+	fst.lo, fst.hi = lo, hi
 	fst.maxTick = maxTick
 	fst.heap = fst.heap[:0]
 	fst.revived = fst.revived[:0]
 	fst.pendingUp = 0
-	for u := 0; u < n; u++ {
-		fst.alive[u] = true
-		fst.rejoined[u] = false
-	}
 	switch fs.class {
 	case faultCrashAt:
 		for _, u := range fs.nodes {
-			if u < n && fs.at <= maxTick {
+			if u >= lo && u < hi && fs.at <= maxTick {
 				fst.push(faultEvent{tick: fs.at, node: int32(u), kind: fvCrash})
 			}
 		}
 	case faultCrash, faultCrashRec:
-		for u := 0; u < n; u++ {
+		for u := lo; u < hi; u++ {
 			if !hitsProb(faultHash(seed, u, faultSaltPart), fs.p) {
 				continue
 			}
@@ -362,7 +357,7 @@ func (fst *faultState) reset(fs *FaultSchedule, seed int64, n, maxTick int) {
 			}
 		}
 	case faultChurn:
-		for u := 0; u < n; u++ {
+		for u := lo; u < hi; u++ {
 			if !hitsProb(faultHash(seed, u, faultSaltPart), fs.p) {
 				continue
 			}
@@ -442,48 +437,46 @@ func (fst *faultState) pop() faultEvent {
 	return top
 }
 
-// live reports whether node u is up. The engine's hot loops call this
-// through engine.live, which short-circuits on the fault-free path.
-func (fst *faultState) live(u int) bool { return fst.alive[u] }
-
-// applyFaults pops and applies every fault event due at or before tick
-// t. Crashes silence a node (it stops stepping; later deliveries to it
-// are dropped); recoveries bring it back — reset-state recoveries and
-// churn joins install a fresh Process and Start it this tick, keep-state
-// recoveries resume the surviving Process. Runs on the single-threaded
-// engine loop, so ordering is deterministic at any worker count.
-func (e *engine) applyFaults(t int) {
-	fst := e.faults
-	sc := e.ev
+// applyFaults pops and applies every fault event of one shard due at or
+// before tick t. Crashes silence a node (it stops stepping; later
+// deliveries to it are dropped); recoveries bring it back — reset-state
+// recoveries and churn joins install a fresh Process and Start it this
+// tick, keep-state recoveries resume the surviving Process. Every write
+// targets the shard's own nodes or its own counters, so shards apply
+// their heaps concurrently; within a shard, events apply in the global
+// (tick, node, kind) order, and events of different shards touch
+// disjoint state, so the shard layout cannot change the outcome.
+func (e *engine) applyFaults(sh *engineShard, t int) {
+	fst := sh.faults
 	for len(fst.heap) > 0 && fst.heap[0].tick <= t {
 		ev := fst.pop()
 		u := int(ev.node)
 		switch ev.kind {
 		case fvCrash:
-			if !fst.alive[u] {
+			if !e.fAlive[u] {
 				continue
 			}
-			fst.alive[u] = false
-			e.res.Crashes++
+			e.fAlive[u] = false
+			sh.crashes++
 			if e.awake[u] && !e.halted[u] {
-				e.numRunning--
+				sh.numRunning--
 			}
-			if !sc.haltCounted[u] {
-				sc.haltCounted[u] = true
-				e.numHalted++
+			if !e.haltCounted[u] {
+				e.haltCounted[u] = true
+				sh.numHalted++
 			}
 			e.inbox[u] = e.inbox[u][:0]
-			sc.wakeAt[u] = 0
+			e.wakeAt[u] = 0
 			if fst.fs.class == faultChurn {
 				fst.pushRecover(t+fst.fs.down, ev.node)
 			}
 		case fvRecover:
 			fst.pendingUp--
-			if fst.alive[u] {
+			if e.fAlive[u] {
 				continue
 			}
-			fst.alive[u] = true
-			e.res.Recoveries++
+			e.fAlive[u] = true
+			sh.recoveries++
 			if fst.fs.class == faultChurn {
 				if next := t + fst.fs.down; next <= fst.maxTick {
 					fst.push(faultEvent{tick: next, node: ev.node, kind: fvCrash})
@@ -494,14 +487,14 @@ func (e *engine) applyFaults(t int) {
 				if e.halted[u] {
 					continue // it had stopped for good before the crash
 				}
-				sc.haltCounted[u] = false
-				e.numHalted--
+				e.haltCounted[u] = false
+				sh.numHalted--
 				if e.awake[u] {
-					e.numRunning++
+					sh.numRunning++
 					fst.revived = append(fst.revived, u)
 				} else if wr := e.wakeRound(u); wr > 0 && wr <= t {
 					// Its spontaneous wake round passed while it was down.
-					sc.wake = append(sc.wake, u)
+					sh.wake = append(sh.wake, u)
 				}
 				continue
 			}
@@ -513,10 +506,10 @@ func (e *engine) applyFaults(t int) {
 			e.awake[u] = false
 			e.changed[u] = false
 			e.ctxs[u].rngReady = false
-			sc.haltCounted[u] = false
-			e.numHalted--
-			fst.rejoined[u] = true
-			sc.wake = append(sc.wake, u)
+			e.haltCounted[u] = false
+			sh.numHalted--
+			e.fRejoined[u] = true
+			sh.wake = append(sh.wake, u)
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseModel asserts the execution-model grammar is total: no input
+// crashes the parser, and every accepted spec canonicalizes to a string
+// that re-parses to the same canonical form (String/ParseModel are a
+// closed pair).
+func FuzzParseModel(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"congest",
+		"local",
+		"async",
+		"async+unit",
+		"async+random:4",
+		"async+fifo:8",
+		"crash:0.2",
+		"crash:0.2:16",
+		"crash@3:0,5,7",
+		"crashrec:0.1:32",
+		"crashrec:0.1:32:keep",
+		"drop:0.05",
+		"churn:0.2:8",
+		"async+fifo:8+crashrec:0.1:32+drop:0.05",
+		"none",
+		"local+crash:0.2",
+		"congest+congest",
+		"async+random:4+random:4",
+		"local+random:4",
+		"crash:nope",
+		"crash:-1",
+		"crash:2.5",
+		"random:0",
+		"fifo:-3",
+		"churn:0.2",
+		"+++",
+		"crash:0.2+crash:0.3",
+		"crash@:",
+		"async+fifo:999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := ParseModel(spec)
+		if err != nil {
+			return
+		}
+		canon := m.String()
+		m2, err := ParseModel(canon)
+		if err != nil {
+			t.Fatalf("canonical form of %q does not re-parse: %q: %v", spec, canon, err)
+		}
+		if got := m2.String(); got != canon {
+			t.Fatalf("canonicalization of %q unstable: %q -> %q", spec, canon, got)
+		}
+		if m.Mode != m2.Mode {
+			t.Fatalf("mode of %q changes across round-trip: %v -> %v", spec, m.Mode, m2.Mode)
+		}
+		if strings.Contains(canon, " ") {
+			t.Fatalf("canonical spec %q contains whitespace", canon)
+		}
+	})
+}

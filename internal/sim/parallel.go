@@ -26,13 +26,15 @@ const minShard = 16
 type stepPool struct {
 	workers int
 	jobs    []chan stepJob
+	wg      sync.WaitGroup // reused by runEach (no per-call allocation)
 }
 
-// stepJob is one shard: indices [lo, hi) of the current step set.
+// stepJob is one shard: indices [lo, hi) of the current step set, with
+// an optional stride (0 means 1 — the contiguous jobs of run).
 type stepJob struct {
-	lo, hi int
-	run    func(i int)
-	done   *sync.WaitGroup
+	lo, hi, stride int
+	run            func(i int)
+	done           *sync.WaitGroup
 }
 
 func newStepPool() *stepPool {
@@ -42,7 +44,11 @@ func newStepPool() *stepPool {
 		p.jobs = append(p.jobs, ch)
 		go func() {
 			for j := range ch {
-				for i := j.lo; i < j.hi; i++ {
+				st := j.stride
+				if st == 0 {
+					st = 1
+				}
+				for i := j.lo; i < j.hi; i += st {
 					j.run(i)
 				}
 				j.done.Done()
@@ -89,4 +95,31 @@ func (p *stepPool) run(count int, step func(i int)) {
 		step(i)
 	}
 	done.Wait()
+}
+
+// runEach calls fn(i) for every i in [0, count) with no minimum-batch
+// gating, striding the indices round-robin across the pool. It is the
+// dispatch path for coarse jobs — whole-shard ticks — where count is
+// small and each call is heavy, so every index deserves its own worker.
+// The reused WaitGroup and caller-owned fn keep the per-call allocation
+// at zero.
+func (p *stepPool) runEach(count int, fn func(i int)) {
+	k := p.workers
+	if k > count {
+		k = count
+	}
+	if k <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.wg.Add(k - 1)
+	for w := 1; w < k; w++ {
+		p.jobs[w-1] <- stepJob{lo: w, hi: count, stride: k, run: fn, done: &p.wg}
+	}
+	for i := 0; i < count; i += k {
+		fn(i)
+	}
+	p.wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"runtime"
 
 	"ule/internal/graph"
 )
@@ -63,11 +64,19 @@ type Runner struct {
 	ctxs    []Context
 	rngs    []*rand.Rand
 
-	// Reusable event-engine state (timing wheel, active lists).
-	ev *evScratch
+	// Reusable flat per-node / per-(node,port) rows of the event engine.
+	linkSeq     []int32
+	wakeAt      []int
+	haltCounted []bool
 
-	// Reusable fault-adversary state, built on the first faulty run.
-	faults *faultState
+	// Reusable shard state (timing wheels, scratch lists, fault heaps,
+	// mailboxes); rebuilt only when the effective shard count changes.
+	shards []engineShard
+
+	// Reusable global fault-membership vectors, built on the first
+	// faulty run.
+	fAlive    []bool
+	fRejoined []bool
 
 	// Lazily-built validation/instrument scratch, recycled across runs.
 	idSeen map[int64]struct{}
@@ -105,8 +114,34 @@ func NewRunner(g *graph.Graph) (*Runner, error) {
 	// ShufflePorts, so the old O(Σ deg²) PortTo validation scan is gone —
 	// NewRunner is O(n) for any density.
 	r.sendCnt = make([]int32, len(nbr))
-	r.ev = newEvScratch(n, len(nbr))
+	r.linkSeq = make([]int32, len(nbr))
+	r.wakeAt = make([]int, n)
+	r.haltCounted = make([]bool, n)
 	return r, nil
+}
+
+// ensureShards (re)builds the Runner's shard array for an effective
+// shard count of S, partitioning the nodes into contiguous ranges of
+// ⌈n/S⌉. Rebuilt only when S changes between runs; each shard's wheels
+// and scratch persist across runs of the same count.
+func (r *Runner) ensureShards(S int) {
+	if len(r.shards) == S {
+		return
+	}
+	n := r.g.N()
+	size := (n + S - 1) / S
+	r.shards = make([]engineShard, S)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.id = i
+		sh.lo = i * size
+		sh.hi = sh.lo + size
+		if sh.hi > n {
+			sh.hi = n
+		}
+		sh.wheel = newTimingWheel()
+		sh.mail = make([][]shardMsg, S)
+	}
 }
 
 // Run executes one protocol run. cfg.Graph must be nil or the Runner's own
@@ -163,8 +198,24 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 	if cfg.DenseLoop && cfg.Faults != nil {
 		return fmt.Errorf("%w: fault injection requires the event-driven engine", ErrConfig)
 	}
+	if cfg.DenseLoop && cfg.Shards > 1 {
+		return fmt.Errorf("%w: sharded execution requires the event-driven engine", ErrConfig)
+	}
 	if cfg.Mode == ASYNC && cfg.Delay == nil {
 		cfg.Delay = UnitDelay()
+	}
+	// Resolve the effective shard count: 0/1 and the dense loop mean one
+	// shard, negative auto-sizes to the core count, and a shard needs at
+	// least one node. The count never changes results, only the layout.
+	shardCount := cfg.Shards
+	if shardCount < 0 {
+		shardCount = runtime.GOMAXPROCS(0)
+	}
+	if shardCount < 1 || cfg.DenseLoop {
+		shardCount = 1
+	}
+	if shardCount > n {
+		shardCount = n
 	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -215,26 +266,46 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 		res:      out,
 	}
 	if !cfg.DenseLoop {
-		r.ev.reset()
-		e.ev = r.ev
 		e.async = cfg.Mode == ASYNC
 		e.delay = cfg.Delay
+		e.linkSeq = r.linkSeq
+		e.wakeAt = r.wakeAt
+		e.haltCounted = r.haltCounted
+		for i := range r.linkSeq {
+			r.linkSeq[i] = 0
+		}
+		for i := range r.wakeAt {
+			r.wakeAt[i] = 0
+		}
+		for i := range r.haltCounted {
+			r.haltCounted[i] = false
+		}
+		r.ensureShards(shardCount)
+		e.shards = r.shards
+		e.shardSize = (n + shardCount - 1) / shardCount
+		for i := range r.shards {
+			r.shards[i].resetRun()
+		}
 		if cfg.Faults != nil {
-			if r.faults == nil {
-				r.faults = newFaultState(n)
-			}
-			r.faults.reset(cfg.Faults, cfg.Seed, n, maxRounds)
-			e.faults = r.faults
+			e.fsched = cfg.Faults
 			e.proto = p
-		}
-		for i := range r.ev.linkSeq {
-			r.ev.linkSeq[i] = 0
-		}
-		for i := range r.ev.wakeAt {
-			r.ev.wakeAt[i] = 0
-		}
-		for i := range r.ev.haltCounted {
-			r.ev.haltCounted[i] = false
+			if r.fAlive == nil {
+				r.fAlive = make([]bool, n)
+				r.fRejoined = make([]bool, n)
+			}
+			e.fAlive, e.fRejoined = r.fAlive, r.fRejoined
+			for u := 0; u < n; u++ {
+				r.fAlive[u] = true
+				r.fRejoined[u] = false
+			}
+			for i := range r.shards {
+				sh := &r.shards[i]
+				if sh.faultScratch == nil {
+					sh.faultScratch = new(faultState)
+				}
+				sh.faultScratch.reset(cfg.Faults, cfg.Seed, sh.lo, sh.hi, maxRounds)
+				sh.faults = sh.faultScratch
+			}
 		}
 	}
 	for i := range r.sendCnt {
@@ -284,14 +355,64 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 		} else {
 			clear(out.PerEdge)
 		}
-		e.perEdge = out.PerEdge
+		if cfg.DenseLoop {
+			e.perEdge = out.PerEdge
+		}
 	} else {
 		out.PerEdge = nil
 	}
+	// Wire the event engine's instrument maps: a single shard writes the
+	// Result's maps directly; multiple shards fill per-shard scratch maps
+	// (merged after the run — crossing ticks by minimum, per-edge counts
+	// by sum, both independent of the shard layout).
+	if !cfg.DenseLoop && (e.watch != nil || cfg.CountPerEdge) {
+		single := len(e.shards) == 1
+		for i := range e.shards {
+			sh := &e.shards[i]
+			if e.watch != nil {
+				if single {
+					sh.fc = out.FirstCrossing
+				} else {
+					if sh.fcScratch == nil {
+						sh.fcScratch = make(map[[2]int]int)
+					} else {
+						clear(sh.fcScratch)
+					}
+					sh.fc = sh.fcScratch
+				}
+			}
+			if cfg.CountPerEdge {
+				if single {
+					sh.pe = out.PerEdge
+				} else {
+					if sh.peScratch == nil {
+						sh.peScratch = make(map[[2]int]int64)
+					} else {
+						clear(sh.peScratch)
+					}
+					sh.pe = sh.peScratch
+				}
+			}
+		}
+	}
 
-	// A pool only ever shards step sets of >= 2*minShard nodes, so tiny
-	// graphs run sequentially rather than paying per-run goroutine churn.
-	if cfg.Parallel && n >= 2*minShard {
+	// Parallel dispatch. With multiple shards one persistent pool drives
+	// whole-shard ticks through fixed per-run closures (no per-tick
+	// allocation); on a single-CPU host the shards run inline instead —
+	// the results are identical either way. A single-shard Parallel run
+	// keeps the node-step pool, which only ever pays off for step sets of
+	// >= 2*minShard nodes, so tiny graphs skip pool creation entirely.
+	if len(e.shards) > 1 {
+		if runtime.GOMAXPROCS(0) > 1 {
+			e.shardPool = newStepPool()
+			e.tickFn = func(i int) { e.tickShard(&e.shards[i], e.curTick) }
+			e.drainFn = func(i int) { e.drainMail(&e.shards[i]) }
+			defer func() {
+				e.shardPool.close()
+				e.shardPool, e.tickFn, e.drainFn = nil, nil, nil
+			}()
+		}
+	} else if cfg.Parallel && n >= 2*minShard {
 		e.pool = newStepPool()
 		defer func() {
 			e.pool.close()
@@ -308,6 +429,35 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 	if e.err != nil {
 		return e.err
 	}
+	// Fold the per-shard accounting into the Result. Sums, maxes and map
+	// merges are all independent of shard order; single-shard runs alias
+	// the instrument maps directly, so only the scalars fold. (The dense
+	// loop has no shards and wrote the Result as it went.)
+	singleShard := len(e.shards) == 1
+	for i := range e.shards {
+		sh := &e.shards[i]
+		out.Messages += sh.msgs
+		out.Bits += sh.bits
+		out.Dropped += sh.dropped
+		out.Crashes += sh.crashes
+		out.Recoveries += sh.recoveries
+		if sh.maxMsgBits > out.MaxMsgBits {
+			out.MaxMsgBits = sh.maxMsgBits
+		}
+		if sh.lastActive > out.LastActive {
+			out.LastActive = sh.lastActive
+		}
+		if !singleShard {
+			for k, v := range sh.fc {
+				if cur, ok := out.FirstCrossing[k]; !ok || v < cur {
+					out.FirstCrossing[k] = v
+				}
+			}
+			for k, v := range sh.pe {
+				out.PerEdge[k] += v
+			}
+		}
+	}
 	out.Statuses = append(out.Statuses[:0], e.status...)
 	for u, s := range e.status {
 		if s == Leader {
@@ -321,9 +471,9 @@ func (r *Runner) RunInto(cfg Config, p Protocol, out *Result) error {
 			break
 		}
 	}
-	if e.faults != nil {
+	if e.fAlive != nil {
 		out.Crashed = crashedScratch
-		for _, a := range e.faults.alive {
+		for _, a := range e.fAlive {
 			out.Crashed = append(out.Crashed, !a)
 		}
 	}

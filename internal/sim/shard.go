@@ -1,0 +1,290 @@
+// Sharded execution: the multi-core layout of the event-driven engine.
+//
+// The node index space is partitioned into Config.Shards contiguous
+// ranges. Each shard owns the full event machinery for its nodes — a
+// timing wheel, the tick loop's scratch lists, a fault-event heap — and
+// every per-node row of the flat engine state (outbox arenas, inboxes,
+// status vectors, linkSeq/wakeAt slots) is written only by its owner, so
+// shards step one tick concurrently without locks. The one cross-shard
+// interaction is message routing: a sender whose neighbor lives in
+// another shard parks the scheduled delivery in a per-(src,dst) mailbox
+// row instead of its own wheel, and at the tick barrier every shard
+// drains the rows addressed to it, in ascending source-shard order, into
+// its own wheel.
+//
+// Determinism does not depend on the shard count. The only event order
+// the simulation can observe is the per-link order of same-tick arrivals:
+// the inbox is stably sorted by receiving port before any node sees it,
+// and one port is one directed link, so only same-link messages have an
+// observable relative order. A link has exactly one sender, a sender
+// lives in exactly one shard, and both the sender's flush and the mailbox
+// drain preserve its send order — so every interleaving the sharding
+// changes is invisible. Everything else the engine accumulates (message,
+// bit and drop totals, per-edge counts, crossing instruments, halt/run
+// counters, model-violation errors) is either order-independent (sums,
+// maxes, per-tick minima) or folded at the barrier in ascending shard
+// order, which reproduces the single-shard engine's ascending-node merge
+// order exactly. Same seed, same transcript, any shard count.
+package sim
+
+// shardMsg is one cross-shard delivery in flight: the delivery record
+// plus its target tick, parked in a mailbox row until the barrier.
+type shardMsg struct {
+	at int
+	d  delivery
+}
+
+// engineShard owns the event-engine state of the contiguous node range
+// [lo, hi). A single-shard run (Shards <= 1) uses exactly one of these
+// covering every node — that is the sequential engine.
+type engineShard struct {
+	id     int
+	lo, hi int
+
+	// wheel is the shard's private pending-event queue. Every event in it
+	// targets the shard's own nodes.
+	wheel *timingWheel
+
+	// Tick-loop scratch (see event.go), all over own nodes only.
+	active   []int // sorted awake node ids (synchronous modes)
+	stepSet  []int
+	recv     []int // own nodes that received a delivery this tick
+	wake     []int // own wake candidates this tick
+	mergeBuf []int
+
+	// faults is the shard's slice of the fault adversary: the event heap
+	// and pending-recovery counter for its own node range (fault.go). nil
+	// on fault-free runs; faultScratch is the persistent backing store.
+	faults       *faultState
+	faultScratch *faultState
+
+	// mail[d] is the outbound mailbox toward shard d: deliveries for
+	// shard d's nodes scheduled by this shard's senders during the
+	// current tick, in send order. Shard d drains it at the barrier.
+	mail [][]shardMsg
+
+	// Quiescence counters over own nodes; the coordinator sums them.
+	pendingMsgs int // undelivered messages queued in this shard's wheel
+	numRunning  int // awake && !halted && alive
+	numHalted   int
+
+	// Cumulative accounting, folded into the Result when the run ends.
+	msgs       int64
+	bits       int64
+	dropped    int64
+	maxMsgBits int
+	lastActive int
+	crashes    int
+	recoveries int
+
+	// Per-tick scratch for the watched-edge crossing cut, folded at the
+	// barrier (only maintained when edges are watched).
+	deliveredTick int64
+	sendDropTick  int64
+	crossedTick   bool
+
+	// First model-violation error of the tick, per merge phase; the fold
+	// takes the globally first one in (phase, shard) order — the same
+	// error the single-shard engine's ascending-node merge would pick.
+	errStarted error
+	errStep    error
+
+	// Instrument maps. A single-shard run aliases the Result's maps
+	// directly; multi-shard runs fill per-shard scratch maps (fcScratch,
+	// peScratch, recycled across runs) merged when the run ends.
+	fc        map[[2]int]int
+	pe        map[[2]int]int64
+	fcScratch map[[2]int]int
+	peScratch map[[2]int]int64
+}
+
+// resetRun re-arms the shard for one run, keeping every allocation.
+func (sh *engineShard) resetRun() {
+	sh.wheel.reset()
+	sh.active = sh.active[:0]
+	sh.stepSet = sh.stepSet[:0]
+	sh.recv = sh.recv[:0]
+	sh.wake = sh.wake[:0]
+	for d := range sh.mail {
+		sh.mail[d] = sh.mail[d][:0]
+	}
+	sh.faults = nil
+	sh.pendingMsgs, sh.numRunning, sh.numHalted = 0, 0, 0
+	sh.msgs, sh.bits, sh.dropped = 0, 0, 0
+	sh.maxMsgBits, sh.lastActive = 0, 0
+	sh.crashes, sh.recoveries = 0, 0
+	sh.deliveredTick, sh.sendDropTick, sh.crossedTick = 0, 0, false
+	sh.errStarted, sh.errStep = nil, nil
+	sh.fc, sh.pe = nil, nil
+}
+
+// shardOf returns the owner shard index of node v.
+func (e *engine) shardOf(v int32) int {
+	return int(v) / e.shardSize
+}
+
+// route schedules delivery d for tick at: into the sending shard's own
+// wheel when the receiver is local, into the mailbox row toward the
+// receiver's shard otherwise. The receiving shard's pendingMsgs is
+// charged at drain time.
+func (e *engine) route(sh *engineShard, at int, d delivery) {
+	if ds := e.shardOf(d.to); ds != sh.id {
+		sh.mail[ds] = append(sh.mail[ds], shardMsg{at: at, d: d})
+		return
+	}
+	b := sh.wheel.at(at)
+	b.deliveries = append(b.deliveries, d)
+	sh.pendingMsgs++
+}
+
+// runTick executes one virtual-time tick: every shard steps its own
+// events concurrently, a barrier, every shard drains the mailboxes
+// addressed to it (ascending source-shard order), a barrier, then the
+// coordinator folds the per-shard tick scratch. With one shard, or
+// without a shard pool, the phases run inline in shard order — the
+// results are identical either way.
+func (e *engine) runTick(t int) {
+	e.round = t
+	e.curTick = t
+	if e.shardPool != nil {
+		e.shardPool.runEach(len(e.shards), e.tickFn)
+	} else {
+		for i := range e.shards {
+			e.tickShard(&e.shards[i], t)
+		}
+	}
+	if len(e.shards) > 1 {
+		if e.shardPool != nil {
+			e.shardPool.runEach(len(e.shards), e.drainFn)
+		} else {
+			for i := range e.shards {
+				e.drainMail(&e.shards[i])
+			}
+		}
+	}
+	e.foldTick(t)
+}
+
+// drainMail moves every delivery parked for dst into dst's wheel. Rows
+// are visited in ascending source-shard order and each row in send
+// order, so the per-link arrival order in dst's buckets is exactly the
+// senders' flush order — the order the single-shard engine would have
+// appended in. Runs concurrently per destination: dst writes only its
+// own wheel and counters, and resets only rows addressed to it.
+func (e *engine) drainMail(dst *engineShard) {
+	for si := range e.shards {
+		src := &e.shards[si]
+		row := src.mail[dst.id]
+		if len(row) == 0 {
+			continue
+		}
+		for i := range row {
+			b := dst.wheel.at(row[i].at)
+			b.deliveries = append(b.deliveries, row[i].d)
+		}
+		dst.pendingMsgs += len(row)
+		src.mail[dst.id] = row[:0]
+	}
+}
+
+// foldTick resolves the per-shard tick scratch on the coordinator: the
+// first model-violation error (Start-phase errors across all shards
+// precede Round-phase ones, matching the single-shard merge order), and
+// the watched-edge crossing cut, which must be computed against the
+// whole tick's deliveries, not any one shard's.
+func (e *engine) foldTick(t int) {
+	if e.err == nil {
+		for i := range e.shards {
+			if err := e.shards[i].errStarted; err != nil {
+				e.err = err
+				break
+			}
+		}
+	}
+	if e.err == nil {
+		for i := range e.shards {
+			if err := e.shards[i].errStep; err != nil {
+				e.err = err
+				break
+			}
+		}
+	}
+	if e.watch == nil {
+		return
+	}
+	var delivered, dropSend int64
+	crossedNow := e.crossed
+	for i := range e.shards {
+		sh := &e.shards[i]
+		delivered += sh.deliveredTick
+		dropSend += sh.sendDropTick
+		crossedNow = crossedNow || sh.crossedTick
+	}
+	// Mirror the single-shard accounting order: deliveries land before
+	// the crossing check, send-time drops after it.
+	post := e.msgsTotal + delivered
+	if !crossedNow {
+		e.res.MessagesBeforeCrossing = post
+	}
+	e.crossed = crossedNow
+	e.msgsTotal = post + dropSend
+}
+
+// pendingUp sums the shards' pending-recovery counters.
+func (e *engine) pendingUp() int {
+	up := 0
+	for i := range e.shards {
+		if f := e.shards[i].faults; f != nil {
+			up += f.pendingUp
+		}
+	}
+	return up
+}
+
+// minPendingTick returns the earliest tick with a pending bucket in any
+// shard's wheel (ok=false when every wheel is empty).
+func (e *engine) minPendingTick() (int, bool) {
+	best, ok := 0, false
+	for i := range e.shards {
+		w := e.shards[i].wheel
+		if w.empty() {
+			continue
+		}
+		if mt := w.minTick(); !ok || mt < best {
+			best, ok = mt, true
+		}
+	}
+	return best, ok
+}
+
+// minFaultTick returns the earliest queued fault event across the
+// shards' heaps (ok=false when none is queued).
+func (e *engine) minFaultTick() (int, bool) {
+	best, ok := 0, false
+	for i := range e.shards {
+		f := e.shards[i].faults
+		if f == nil || len(f.heap) == 0 {
+			continue
+		}
+		if ft := f.heap[0].tick; !ok || ft < best {
+			best, ok = ft, true
+		}
+	}
+	return best, ok
+}
+
+// nextRevive returns the earliest queued recovery tick across all
+// shards (0 when none is pending).
+func (e *engine) nextRevive() int {
+	best := 0
+	for i := range e.shards {
+		f := e.shards[i].faults
+		if f == nil {
+			continue
+		}
+		if nr := f.nextRevive(); nr > 0 && (best == 0 || nr < best) {
+			best = nr
+		}
+	}
+	return best
+}

@@ -279,8 +279,19 @@ type Config struct {
 	// CountPerEdge enables per-edge message counting.
 	CountPerEdge bool
 	// Parallel runs node steps on a worker pool; observable behaviour is
-	// identical to the sequential runner.
+	// identical to the sequential runner. Ignored when Shards > 1 (the
+	// engine parallelizes across shards instead).
 	Parallel bool
+	// Shards partitions the nodes into that many contiguous index ranges,
+	// each owning a private timing wheel, outbox flush, fault heap and
+	// scratch state; shards step concurrently within a tick and exchange
+	// cross-shard deliveries at tick barriers through per-(src,dst)
+	// mailboxes merged in fixed shard order (see shard.go). Results are
+	// byte-identical at every shard count. 0 and 1 select the single-shard
+	// engine, negative values auto-size to GOMAXPROCS, and counts above
+	// the node count are clamped. Requires the event-driven engine
+	// (incompatible with DenseLoop when > 1).
+	Shards int
 	// Delay is the asynchronous adversary's message-delay schedule. Only
 	// valid in ASYNC mode, where nil selects UnitDelay.
 	Delay DelaySchedule
@@ -417,30 +428,47 @@ type engine struct {
 	bitCap  int
 	sendCap int
 	watch   map[[2]int]bool
-	perEdge map[[2]int]int64
+	perEdge map[[2]int]int64 // dense loop only; the event engine uses per-shard maps
 
-	// Event-driven scheduler state (see event.go); ev is nil under the
-	// legacy dense loop.
-	ev      *evScratch
-	delay   DelaySchedule
-	async   bool
-	crossed bool
-	// Fault adversary state (fault.go); nil for a fault-free run. Every
-	// fault branch in the engine is gated on this nil check, so the
-	// fault-free path executes exactly as it would without the subsystem.
-	faults *faultState
+	// Sharded event-engine state (event.go, shard.go); shards is empty
+	// under the legacy dense loop. shardSize is ⌈n/len(shards)⌉, the
+	// stride of the contiguous node partition (shardOf is one division).
+	shards    []engineShard
+	shardSize int
+	delay     DelaySchedule
+	async     bool
+	// Flat per-node / per-(node,port) rows shared by the shards — each
+	// shard writes only its own nodes' slots, so no synchronization is
+	// needed. nil under the dense loop (which has no timers or links).
+	linkSeq     []int32 // per-link message sequence numbers (ASYNC/drop)
+	wakeAt      []int   // pending RequestWake target tick (0 = none)
+	haltCounted []bool  // halt already merged into the counters
+	// Fault adversary state (fault.go): the parsed schedule plus the
+	// global membership vectors; the per-shard event heaps live in the
+	// shards. All nil for a fault-free run, and every fault branch in the
+	// engine is gated on those nil checks, so the fault-free path
+	// executes exactly as it would without the subsystem.
+	fsched       *FaultSchedule
+	fAlive       []bool // fAlive[u]: node u is currently up
+	fRejoined    []bool // fRejoined[u]: u Start()s this tick because it rejoined
+	pendingUpAll int    // coordinator snapshot of summed pendingUp (pruning)
 	// proto rebuilds a node's process on reset-state recovery.
 	proto Protocol
-	// O(1) termination counters, maintained by the event loop's merge
-	// phase (the dense loop re-derives them by scanning).
-	pendingMsgs int
-	numRunning  int // awake && !halted
-	numHalted   int
-	maxTick     int // round cap; timers past it are never scheduled
+	// Watched-edge crossing cut, folded at tick barriers (coordinator
+	// only; see foldTick).
+	crossed   bool
+	msgsTotal int64
+	maxTick   int // round cap; timers past it are never scheduled
 
 	// pool is the per-run worker pool of the Parallel runner (nil when
-	// sequential).
-	pool *stepPool
+	// sequential); shardPool drives whole-shard ticks when Shards > 1,
+	// with tickFn/drainFn the fixed per-run closures handed to it so the
+	// per-tick dispatch allocates nothing. curTick feeds the closures.
+	pool      *stepPool
+	shardPool *stepPool
+	tickFn    func(int)
+	drainFn   func(int)
+	curTick   int
 
 	res *Result
 	err error
@@ -501,11 +529,11 @@ func (e *engine) decide(u int, s Status) {
 // event loop's merge phase turns it into a queue event (race-free under
 // the parallel runner, like send and decide).
 func (e *engine) requestWake(u, at int) {
-	if e.ev == nil {
+	if e.wakeAt == nil {
 		return // dense loop: every awake node is stepped each round anyway
 	}
-	if w := e.ev.wakeAt[u]; w == 0 || at < w {
-		e.ev.wakeAt[u] = at
+	if w := e.wakeAt[u]; w == 0 || at < w {
+		e.wakeAt[u] = at
 	}
 }
 
