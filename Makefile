@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-shuffle test-race race race-matrix bench bench-smoke bench-graph bench-faults bench-shard sweep-smoke fmt fmt-check vet docs-check ci
+.PHONY: build test test-shuffle test-race test-sweep race race-matrix bench bench-smoke bench-graph bench-faults bench-shard bench-sweep sweep-smoke fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,26 @@ bench-shard:
 	$(GO) test -bench 'EngineSharded$$' -benchtime 3x -benchmem -run='^$$' -timeout 30m .
 	$(GO) test -bench 'EngineSharded10M' -benchtime 1x -benchmem -run='^$$' -timeout 30m .
 
+# Focused sweep-pipeline gate (docs/PERFORMANCE.md § "Sweep pipeline"):
+# the consumer allocation budget, the O(1)-aggregation guard, the
+# kill-and-resume byte-identity matrix, and the CLI binary sweep /
+# resume / export round trip. All of these also run inside the full
+# suite; this target exists so CI surfaces a pipeline regression under
+# its own label, the same way race-matrix labels the determinism matrix.
+test-sweep:
+	$(GO) test -run 'TestAllocBudgetSweepConsumer|TestConsumerMemoryFlatInTrialCount|TestBinaryKillAndResume' -v ./internal/harness
+	$(GO) test -run 'TestSweepModeBinaryAndExport|TestSweepModeResumeExcludesTextEmitters' -v ./cmd/ule-experiments
+
+# The sweep-pipeline measurement set (docs/PERFORMANCE.md): per-trial
+# encoder benchmarks (append path vs the stdlib path the emitters used
+# before), steady-state consumer throughput for the JSON/CSV/binary
+# emitter sets vs the legacy consumer replica, the consumer allocation
+# budget, and the kill-and-resume byte-identity test. Used to regenerate
+# BENCH_SWEEP_PIPELINE.json.
+bench-sweep:
+	$(GO) test -run 'TestAllocBudgetSweepConsumer|TestConsumerMemoryFlatInTrialCount|TestBinaryKillAndResume' -v ./internal/harness
+	$(GO) test -bench 'EmitTrial|SweepConsumer' -benchtime 3s -benchmem -run='^$$' ./internal/harness
+
 # A tiny end-to-end sweep through the parallel harness: every registered
 # algorithm on two graph families, JSON document discarded after parsing.
 sweep-smoke:
@@ -103,4 +123,4 @@ docs-check: fmt-check vet
 	$(GO) test -run Example ./...
 
 # Everything the CI pipeline runs, in the same order.
-ci: fmt-check vet build test-shuffle race race-matrix bench-smoke sweep-smoke docs-check
+ci: fmt-check vet build test-shuffle race race-matrix test-sweep bench-smoke sweep-smoke docs-check

@@ -31,10 +31,22 @@
 // axes, so one spec file serves the synchronous, asynchronous and faulty
 // scenario space. The sweep spec JSON schema (ule-sweep/v3) is
 // documented in docs/SWEEP_SCHEMA.md.
+//
+// Million-trial sweeps use the compact checkpointed binary format
+// (ule-sweepbin/v1, also in docs/SWEEP_SCHEMA.md) instead of JSON:
+//
+//	ule-experiments -sweep spec.json -bin out.ulsb
+//	ule-experiments -sweep spec.json -resume out.ulsb   # after a crash/kill
+//	ule-experiments -from-bin out.ulsb -json out.json   # export, no sweep
+//
+// A killed -bin sweep loses at most -checkpoint-every trials; -resume
+// verifies the spec, replays the surviving prefix, and continues — the
+// finished file is byte-identical to an uninterrupted run.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -68,26 +80,38 @@ type driver struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ule-experiments", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "reduced sweep sizes")
-		seed     = fs.Int64("seed", 42, "base seed")
-		csv      = fs.Bool("csv", false, "emit CSV instead of markdown")
-		only     = fs.String("only", "", "run a single experiment id (e.g. E3)")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
-		sweep    = fs.String("sweep", "", "run a declarative sweep instead of the experiments: JSON spec file or builtin:smoke")
-		jsonOut  = fs.String("json", "", "sweep mode: write the ule-sweep/v3 JSON document to this file (- for stdout)")
-		csvOut   = fs.String("csv-out", "", "sweep mode: write per-trial CSV to this file (- for stdout)")
-		mode     = fs.String("mode", "", "sweep mode: override the spec's modes axis (comma-separated: congest,local,async)")
-		delays   = fs.String("delays", "", "sweep mode: override the spec's async delay axis (comma-separated: unit,random:B,fifo:B)")
-		faults   = fs.String("faults", "", "sweep mode: override the spec's fault axis (comma-separated: none,crash:P,crashrec:P:D,drop:P,churn:P:K)")
-		diamEst  = fs.Bool("diam-estimate", false, "sweep mode: grant D-dependent algorithms graph.DiameterEstimate instead of the exact all-pairs diameter (for graphs too large for O(n·m))")
-		shards   = fs.Int("shards", 0, "sweep mode: override the spec's engine shard count (0 = keep spec value, -1 auto-size; results identical at any count)")
-		progress = fs.Bool("progress", true, "sweep mode: report progress on stderr")
+		quick     = fs.Bool("quick", false, "reduced sweep sizes")
+		seed      = fs.Int64("seed", 42, "base seed")
+		csv       = fs.Bool("csv", false, "emit CSV instead of markdown")
+		only      = fs.String("only", "", "run a single experiment id (e.g. E3)")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
+		sweep     = fs.String("sweep", "", "run a declarative sweep instead of the experiments: JSON spec file or builtin:smoke")
+		jsonOut   = fs.String("json", "", "sweep mode: write the ule-sweep/v3 JSON document to this file (- for stdout)")
+		csvOut    = fs.String("csv-out", "", "sweep mode: write per-trial CSV to this file (- for stdout)")
+		binOut    = fs.String("bin", "", "sweep mode: write the compact checkpointed ule-sweepbin/v1 document to this file")
+		resume    = fs.String("resume", "", "sweep mode: resume an interrupted ule-sweepbin/v1 sweep file in place (spec must expand to the same sweep; excludes -json/-csv-out/-bin)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "sweep mode: trials between durable checkpoints in the -bin document (0 = default)")
+		fromBin   = fs.String("from-bin", "", "export an ule-sweepbin/v1 file as its byte-identical ule-sweep/v3 JSON document to -json (no sweep is run)")
+		mode      = fs.String("mode", "", "sweep mode: override the spec's modes axis (comma-separated: congest,local,async)")
+		delays    = fs.String("delays", "", "sweep mode: override the spec's async delay axis (comma-separated: unit,random:B,fifo:B)")
+		faults    = fs.String("faults", "", "sweep mode: override the spec's fault axis (comma-separated: none,crash:P,crashrec:P:D,drop:P,churn:P:K)")
+		diamEst   = fs.Bool("diam-estimate", false, "sweep mode: grant D-dependent algorithms graph.DiameterEstimate instead of the exact all-pairs diameter (for graphs too large for O(n·m))")
+		shards    = fs.Int("shards", 0, "sweep mode: override the spec's engine shard count (0 = keep spec value, -1 auto-size; results identical at any count)")
+		progress  = fs.Bool("progress", true, "sweep mode: report progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *fromBin != "" {
+		return exportBinary(*fromBin, *jsonOut)
+	}
 	if *sweep != "" {
-		return runSweep(*sweep, *workers, *jsonOut, *csvOut, *mode, *delays, *faults, *diamEst, *shards, *progress)
+		return runSweep(*sweep, sweepOpts{
+			workers: *workers, jsonOut: *jsonOut, csvOut: *csvOut,
+			binOut: *binOut, resume: *resume, ckptEvery: *ckptEvery,
+			mode: *mode, delays: *delays, faults: *faults,
+			diamEstimate: *diamEst, shards: *shards, progress: *progress,
+		})
 	}
 	d := &driver{quick: *quick, seed: *seed, trials: 10, csv: *csv, workers: *workers}
 	if *quick {
@@ -134,8 +158,47 @@ func run(args []string) error {
 	return nil
 }
 
+// sweepOpts carries the sweep-mode flag set into runSweep.
+type sweepOpts struct {
+	workers         int
+	jsonOut, csvOut string
+	binOut, resume  string
+	ckptEvery       int
+	mode            string
+	delays, faults  string
+	diamEstimate    bool
+	shards          int
+	progress        bool
+}
+
+// exportBinary streams a ule-sweepbin/v1 file out as the byte-identical
+// ule-sweep/v3 JSON document.
+func exportBinary(binPath, jsonOut string) error {
+	in, err := os.Open(binPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out := os.Stdout
+	if jsonOut != "" && jsonOut != "-" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := harness.ExportJSON(in, out); err != nil {
+		return err
+	}
+	if out != os.Stdout {
+		return out.Close()
+	}
+	return nil
+}
+
 // runSweep executes one declarative sweep spec through the harness.
-func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delaysOverride, faultsOverride string, diamEstimate bool, shards int, progress bool) error {
+func runSweep(specArg string, o sweepOpts) error {
 	var spec harness.Spec
 	switch specArg {
 	case "builtin:smoke":
@@ -149,22 +212,41 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 			return fmt.Errorf("sweep spec %s: %w", specArg, err)
 		}
 	}
-	if modeOverride != "" {
-		spec.Modes = strings.Split(modeOverride, ",")
+	if o.mode != "" {
+		spec.Modes = strings.Split(o.mode, ",")
 	}
-	if delaysOverride != "" {
-		spec.Delays = strings.Split(delaysOverride, ",")
+	if o.delays != "" {
+		spec.Delays = strings.Split(o.delays, ",")
 	}
-	if faultsOverride != "" {
-		spec.Faults = strings.Split(faultsOverride, ",")
+	if o.faults != "" {
+		spec.Faults = strings.Split(o.faults, ",")
 	}
-	if diamEstimate {
+	if o.diamEstimate {
 		spec.DiameterEstimate = true
 	}
-	if shards != 0 {
-		spec.Shards = shards
+	if o.shards != 0 {
+		spec.Shards = o.shards
 	}
-	rc := harness.RunConfig{Workers: workers}
+	rc := harness.RunConfig{Workers: o.workers}
+	if o.resume != "" {
+		// A resumed run appends to the binary file; the text emitters
+		// cannot join mid-document (they would silently miss the completed
+		// prefix) — export afterwards with -from-bin instead.
+		if o.jsonOut != "" || o.csvOut != "" || o.binOut != "" {
+			return fmt.Errorf("-resume cannot be combined with -json/-csv-out/-bin; export with -from-bin after the sweep")
+		}
+		ck, em, err := harness.ResumeBinary(o.resume)
+		if err != nil {
+			if errors.Is(err, harness.ErrSweepComplete) {
+				fmt.Fprintf(os.Stderr, "sweep %s: %s already complete (%d trials)\n", spec.Name, o.resume, ck.Total)
+				return nil
+			}
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s: resuming %s from trial %d/%d\n", spec.Name, o.resume, ck.Completed, ck.Total)
+		rc.Resume = ck
+		rc.Emitters = append(rc.Emitters, em)
+	}
 	// Close errors must fail the sweep: the final buffered write can
 	// surface only at Close on some filesystems. The deferred pass covers
 	// early error returns; the explicit pass below reports the error.
@@ -185,22 +267,29 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 		outFiles = append(outFiles, f)
 		return f, nil
 	}
-	if jsonOut != "" {
-		f, err := openOut(jsonOut)
+	if o.jsonOut != "" {
+		f, err := openOut(o.jsonOut)
 		if err != nil {
 			return err
 		}
 		rc.Emitters = append(rc.Emitters, harness.NewJSONEmitter(f))
 	}
-	if csvOut != "" {
-		f, err := openOut(csvOut)
+	if o.csvOut != "" {
+		f, err := openOut(o.csvOut)
 		if err != nil {
 			return err
 		}
 		rc.Emitters = append(rc.Emitters, harness.NewCSVEmitter(f))
 	}
+	if o.binOut != "" {
+		f, err := openOut(o.binOut)
+		if err != nil {
+			return err
+		}
+		rc.Emitters = append(rc.Emitters, harness.NewBinaryEmitter(f, harness.BinaryOptions{CheckpointEvery: o.ckptEvery}))
+	}
 	total := spec.NumTrials()
-	if progress {
+	if o.progress {
 		every := total / 20
 		if every < 1 {
 			every = 1
@@ -230,7 +319,7 @@ func runSweep(specArg string, workers int, jsonOut, csvOut, modeOverride, delays
 		spec.Name, rep.Total, len(rep.Groups), rep.Errors, rep.Workers, time.Since(start).Round(time.Millisecond))
 	// Human-readable synthesis on stdout unless it would interleave with
 	// a document already going there.
-	if jsonOut != "-" && csvOut != "-" {
+	if o.jsonOut != "-" && o.csvOut != "-" {
 		t := stats.NewTable(fmt.Sprintf("sweep %s", spec.Name),
 			"algo", "graph", "mode", "wake", "delay", "fault", "n", "m", "trials", "msgs mean", "rounds mean", "success", "survival", "errors")
 		for _, g := range rep.Groups {

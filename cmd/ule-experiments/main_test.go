@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -89,5 +90,77 @@ func TestSweepModeAsyncOverride(t *testing.T) {
 		if !seen[d] {
 			t.Errorf("delay model %q missing from trials", d)
 		}
+	}
+}
+
+// TestSweepModeBinaryAndExport drives the full binary pipeline through
+// the CLI: -bin sweep, kill (simulated by truncation), -resume, then
+// -from-bin export byte-identical to a straight -json run.
+func TestSweepModeBinaryAndExport(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	jsonPath := filepath.Join(dir, "out.json")
+	binPath := filepath.Join(dir, "out.ulsb")
+	spec := `{"name":"cli-bin","algos":["leastel","kingdom"],"graphs":["ring:12","random:16:40"],"faults":["none","crash:0.2"],"trials":3,"seed":5,"small_ids":true}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", specPath, "-workers", "3",
+		"-json", jsonPath, "-bin", binPath, "-checkpoint-every", "8", "-progress=false"}); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the sweep two-thirds through and resume it via the CLI.
+	if err := os.WriteFile(binPath, full[:len(full)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", specPath, "-workers", "2", "-resume", binPath, "-progress=false"}); err != nil {
+		t.Fatalf("-resume: %v", err)
+	}
+	resumed, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, full) {
+		t.Fatalf("resumed binary differs from uninterrupted run (%d vs %d bytes)", len(resumed), len(full))
+	}
+
+	// Resuming a complete file is a no-op, not an error.
+	if err := run([]string{"-sweep", specPath, "-resume", binPath, "-progress=false"}); err != nil {
+		t.Fatalf("-resume on complete file: %v", err)
+	}
+
+	// -from-bin export reproduces the -json document byte for byte.
+	exportPath := filepath.Join(dir, "export.json")
+	if err := run([]string{"-from-bin", binPath, "-json", exportPath}); err != nil {
+		t.Fatalf("-from-bin: %v", err)
+	}
+	gotJSON, err := os.ReadFile(exportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("-from-bin export differs from live -json document (%d vs %d bytes)", len(gotJSON), len(wantJSON))
+	}
+}
+
+func TestSweepModeResumeExcludesTextEmitters(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"name":"x","algos":["leastel"],"graphs":["ring:8"],"trials":1,"seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-sweep", specPath, "-resume", filepath.Join(dir, "missing.ulsb"),
+		"-json", filepath.Join(dir, "out.json"), "-progress=false"})
+	if err == nil {
+		t.Fatal("-resume with -json succeeded, want error")
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strconv"
 )
 
 // SchemaVersion identifies the JSON document layout emitted by
@@ -38,11 +37,15 @@ type Emitter interface {
 //
 //	{"schema":"ule-sweep/v1","spec":{...},"trials":[{...},...],"groups":[...],"total_trials":N,"errors":E}
 //
-// Trials are written as they arrive, one object per line, so memory does
-// not grow with the sweep.
+// Trials are written as they arrive, one object per line, through the
+// reflection-free appendTrialJSON encoder over a reusable buffer, so the
+// per-trial cost is a few appends and one buffered write — no
+// encoding/json, no per-record allocation — while the bytes stay
+// identical to what json.Marshal produced (pinned by encode_test.go).
 type jsonEmitter struct {
 	w      *bufio.Writer
 	trials int
+	buf    []byte
 }
 
 // NewJSONEmitter returns an emitter writing the current SchemaVersion
@@ -62,16 +65,16 @@ func (e *jsonEmitter) Begin(spec Spec, total int) error {
 }
 
 func (e *jsonEmitter) Trial(tr TrialResult) error {
-	rec, err := json.Marshal(tr)
-	if err != nil {
-		return err
-	}
-	sep := ",\n"
+	b := e.buf[:0]
 	if e.trials == 0 {
-		sep = "\n"
+		b = append(b, '\n')
+	} else {
+		b = append(b, ',', '\n')
 	}
 	e.trials++
-	_, err = fmt.Fprintf(e.w, "%s%s", sep, rec)
+	b = appendTrialJSON(b, &tr)
+	e.buf = b
+	_, err := e.w.Write(b)
 	return err
 }
 
@@ -96,9 +99,11 @@ var csvHeader = []string{
 	"crashes", "recoveries", "dropped", "live_unique", "err",
 }
 
-// csvEmitter streams one row per trial.
+// csvEmitter streams one row per trial through the append-based encoder
+// (appendTrialCSV) over a reusable buffer.
 type csvEmitter struct {
-	w *bufio.Writer
+	w   *bufio.Writer
+	buf []byte
 }
 
 // NewCSVEmitter returns an emitter writing a trials CSV to w (header row
@@ -108,48 +113,27 @@ func NewCSVEmitter(w io.Writer) Emitter {
 }
 
 func (e *csvEmitter) Begin(Spec, int) error {
-	return writeCSVRow(e.w, csvHeader)
+	for i, c := range csvHeader {
+		if i > 0 {
+			if err := e.w.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := e.w.WriteString(c); err != nil {
+			return err
+		}
+	}
+	return e.w.WriteByte('\n')
 }
 
 func (e *csvEmitter) Trial(tr TrialResult) error {
-	return writeCSVRow(e.w, []string{
-		strconv.Itoa(tr.Index), tr.Algo, tr.Graph, tr.Mode, tr.Wake, tr.Delay, tr.Fault,
-		strconv.Itoa(tr.Rep), strconv.FormatInt(tr.Seed, 10),
-		strconv.Itoa(tr.N), strconv.Itoa(tr.M), strconv.Itoa(tr.D),
-		strconv.Itoa(tr.Rounds), strconv.Itoa(tr.LastActive),
-		strconv.FormatInt(tr.Messages, 10), strconv.FormatInt(tr.Bits, 10),
-		strconv.Itoa(tr.Leaders), strconv.FormatBool(tr.Unique),
-		strconv.FormatBool(tr.Halted), strconv.FormatBool(tr.HitRoundCap),
-		strconv.Itoa(tr.Crashes), strconv.Itoa(tr.Recoveries),
-		strconv.FormatInt(tr.Dropped, 10), strconv.FormatBool(tr.LiveUnique),
-		csvEscape(tr.Err),
-	})
+	e.buf = appendTrialCSV(e.buf[:0], &tr)
+	_, err := e.w.Write(e.buf)
+	return err
 }
 
 func (e *csvEmitter) End(*Report) error {
 	return e.w.Flush()
-}
-
-func writeCSVRow(w *bufio.Writer, cells []string) error {
-	for i, c := range cells {
-		if i > 0 {
-			if err := w.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		if _, err := w.WriteString(c); err != nil {
-			return err
-		}
-	}
-	return w.WriteByte('\n')
-}
-
-// csvEscape quotes the only free-form CSV column (trial errors).
-func csvEscape(s string) string {
-	if s == "" {
-		return s
-	}
-	return strconv.Quote(s)
 }
 
 // Document is the parsed form of a ule-sweep/v3 (or legacy v2/v1) JSON
@@ -180,4 +164,81 @@ func ParseDocument(data []byte) (*Document, error) {
 			len(doc.Trials), doc.TotalTrials)
 	}
 	return &doc, nil
+}
+
+// DecodeTrials streams the trial records of a ule-sweep JSON document
+// (v3 or legacy v2/v1) from r, calling fn once per trial in document
+// order. Unlike ParseDocument it never materializes the trials array, so
+// memory stays constant in document size — the consumption path for
+// million-trial documents. The schema field must precede the trials
+// array (every document the emitters produce has it first) and is
+// validated before the first callback; any fn error aborts the decode
+// and is returned verbatim.
+func DecodeTrials(r io.Reader, fn func(TrialResult) error) error {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("harness: invalid sweep document: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("harness: invalid sweep document: not a JSON object")
+	}
+	schemaOK := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("harness: invalid sweep document: %w", err)
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return fmt.Errorf("harness: invalid sweep document: non-string key %v", keyTok)
+		}
+		switch key {
+		case "schema":
+			var schema string
+			if err := dec.Decode(&schema); err != nil {
+				return fmt.Errorf("harness: invalid sweep document: %w", err)
+			}
+			if schema != SchemaVersion && schema != legacySchemaV2 && schema != legacySchemaV1 {
+				return fmt.Errorf("harness: unknown schema %q (want %q)", schema, SchemaVersion)
+			}
+			schemaOK = true
+		case "trials":
+			if !schemaOK {
+				return fmt.Errorf("harness: document schema must precede trials for streaming decode")
+			}
+			tok, err := dec.Token()
+			if err != nil {
+				return fmt.Errorf("harness: invalid sweep document: %w", err)
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				return fmt.Errorf("harness: invalid sweep document: trials is not an array")
+			}
+			for dec.More() {
+				var tr TrialResult
+				if err := dec.Decode(&tr); err != nil {
+					return fmt.Errorf("harness: invalid trial record: %w", err)
+				}
+				if err := fn(tr); err != nil {
+					return err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // closing ']'
+				return fmt.Errorf("harness: invalid sweep document: %w", err)
+			}
+		default:
+			// Skip the value without keeping it (spec, groups, counters).
+			var raw json.RawMessage
+			if err := dec.Decode(&raw); err != nil {
+				return fmt.Errorf("harness: invalid sweep document: %w", err)
+			}
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return fmt.Errorf("harness: invalid sweep document: %w", err)
+	}
+	if !schemaOK {
+		return fmt.Errorf("harness: document carries no schema field")
+	}
+	return nil
 }

@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// Hand-rolled, reflection-free encoders for the per-trial emit hot path.
+//
+// A million-trial sweep calls Emitter.Trial a million times; routing each
+// record through encoding/json (reflection, interface boxing, a fresh
+// []byte per record) or a strconv.Itoa-per-cell CSV row dominated the
+// consumer's profile once the engine itself went allocation-free. The
+// appenders below write into a caller-owned reusable buffer and are
+// pinned byte-identical to the encoding/json / strconv output they
+// replace (encode_test.go compares them against the stdlib across every
+// field combination), so emitted documents are unchanged.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, byte-identical to
+// encoding/json's encoder with its default HTML escaping: ", \ and the
+// C0 controls are escaped (short forms for \b \f \n \r \t), <, > and &
+// become \u00XX, invalid UTF-8 bytes become �, and U+2028/U+2029
+// are escaped for JS embedding. Everything else is copied verbatim.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendBool appends "true"/"false".
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// appendTrialJSON appends tr as one JSON object, byte-identical to
+// json.Marshal(tr): fields in declaration order (the embedded Trial
+// first), omitempty fields dropped at their zero values.
+func appendTrialJSON(b []byte, tr *TrialResult) []byte {
+	b = append(b, `{"trial":`...)
+	b = strconv.AppendInt(b, int64(tr.Index), 10)
+	b = append(b, `,"algo":`...)
+	b = appendJSONString(b, tr.Algo)
+	b = append(b, `,"graph":`...)
+	b = appendJSONString(b, tr.Graph)
+	b = append(b, `,"mode":`...)
+	b = appendJSONString(b, tr.Mode)
+	b = append(b, `,"wake":`...)
+	b = appendJSONString(b, tr.Wake)
+	if tr.Delay != "" {
+		b = append(b, `,"delay_model":`...)
+		b = appendJSONString(b, tr.Delay)
+	}
+	if tr.Fault != "" {
+		b = append(b, `,"fault_model":`...)
+		b = appendJSONString(b, tr.Fault)
+	}
+	b = append(b, `,"rep":`...)
+	b = strconv.AppendInt(b, int64(tr.Rep), 10)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, tr.Seed, 10)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, int64(tr.N), 10)
+	b = append(b, `,"m":`...)
+	b = strconv.AppendInt(b, int64(tr.M), 10)
+	if tr.D != 0 {
+		b = append(b, `,"d":`...)
+		b = strconv.AppendInt(b, int64(tr.D), 10)
+	}
+	b = append(b, `,"rounds":`...)
+	b = strconv.AppendInt(b, int64(tr.Rounds), 10)
+	b = append(b, `,"last_active":`...)
+	b = strconv.AppendInt(b, int64(tr.LastActive), 10)
+	b = append(b, `,"messages":`...)
+	b = strconv.AppendInt(b, tr.Messages, 10)
+	b = append(b, `,"bits":`...)
+	b = strconv.AppendInt(b, tr.Bits, 10)
+	b = append(b, `,"leaders":`...)
+	b = strconv.AppendInt(b, int64(tr.Leaders), 10)
+	b = append(b, `,"unique":`...)
+	b = appendBool(b, tr.Unique)
+	b = append(b, `,"halted":`...)
+	b = appendBool(b, tr.Halted)
+	if tr.HitRoundCap {
+		b = append(b, `,"hit_round_cap":true`...)
+	}
+	if tr.Crashes != 0 {
+		b = append(b, `,"crashes":`...)
+		b = strconv.AppendInt(b, int64(tr.Crashes), 10)
+	}
+	if tr.Recoveries != 0 {
+		b = append(b, `,"recoveries":`...)
+		b = strconv.AppendInt(b, int64(tr.Recoveries), 10)
+	}
+	if tr.Dropped != 0 {
+		b = append(b, `,"dropped":`...)
+		b = strconv.AppendInt(b, tr.Dropped, 10)
+	}
+	if tr.LiveUnique {
+		b = append(b, `,"live_unique":true`...)
+	}
+	if tr.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendJSONString(b, tr.Err)
+	}
+	return append(b, '}')
+}
+
+// appendCSVField appends the only free-form CSV column (trial errors)
+// with RFC 4180 quoting: a non-empty field is wrapped in double quotes
+// and embedded quotes are doubled. For the plain single-line strings the
+// simulator actually produces this is byte-identical to the old
+// strconv.Quote path; strings containing quotes, backslashes or newlines
+// now produce standard CSV instead of Go-escaped text that CSV readers
+// mis-split.
+func appendCSVField(b []byte, s string) []byte {
+	if s == "" {
+		return b
+	}
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			b = append(b, '"', '"')
+		} else {
+			b = append(b, s[i])
+		}
+	}
+	return append(b, '"')
+}
+
+// appendTrialCSV appends tr as one CSV row (csvHeader layout, trailing
+// newline), byte-identical to the previous strconv.Itoa/FormatBool row
+// construction for quote-free error strings.
+func appendTrialCSV(b []byte, tr *TrialResult) []byte {
+	b = strconv.AppendInt(b, int64(tr.Index), 10)
+	b = append(b, ',')
+	b = append(b, tr.Algo...)
+	b = append(b, ',')
+	b = append(b, tr.Graph...)
+	b = append(b, ',')
+	b = append(b, tr.Mode...)
+	b = append(b, ',')
+	b = append(b, tr.Wake...)
+	b = append(b, ',')
+	b = append(b, tr.Delay...)
+	b = append(b, ',')
+	b = append(b, tr.Fault...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.Rep), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, tr.Seed, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.N), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.M), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.D), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.Rounds), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.LastActive), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, tr.Messages, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, tr.Bits, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.Leaders), 10)
+	b = append(b, ',')
+	b = appendBool(b, tr.Unique)
+	b = append(b, ',')
+	b = appendBool(b, tr.Halted)
+	b = append(b, ',')
+	b = appendBool(b, tr.HitRoundCap)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.Crashes), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(tr.Recoveries), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, tr.Dropped, 10)
+	b = append(b, ',')
+	b = appendBool(b, tr.LiveUnique)
+	b = append(b, ',')
+	b = appendCSVField(b, tr.Err)
+	return append(b, '\n')
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -129,16 +130,46 @@ type RunConfig struct {
 	// Progress, when set, is called after every completed trial with the
 	// completed and total counts (from the single consumer goroutine).
 	Progress func(done, total int)
+	// Resume, when set, continues an interrupted binary sweep instead of
+	// starting over: the compiled spec must hash-match the checkpoint's
+	// header, the completed trial prefix is replayed from the checkpoint
+	// file into the aggregator (not re-run and not re-emitted), and only
+	// the remaining suffix executes. Pair it with the emitter returned by
+	// ResumeBinary so the binary stream continues where it stopped; the
+	// final document is byte-identical to an uninterrupted run.
+	Resume *SweepCheckpoint
 }
 
-// groupAcc accumulates one cell online; only scalar samples are retained.
+// groupAcc accumulates one cell online. The three metric accumulators are
+// exact value→count multisets (stats.IntSample), so consumer memory is
+// bounded by the number of distinct observed values per cell — flat in
+// trial count — while the end-of-sweep summaries stay bit-identical to
+// the old O(trials) float-slice path.
 type groupAcc struct {
 	key              [6]string
 	n, m, d          int
 	trials, errors   int
 	unique           int
 	liveUnique       int
-	msgs, rounds, bs []float64
+	msgs, rounds, bs stats.IntSample
+}
+
+// add folds one emitted record into the cell accumulators.
+func (acc *groupAcc) add(next *TrialResult) {
+	acc.trials++
+	if next.Err != "" {
+		acc.errors++
+		return
+	}
+	acc.msgs.Add(next.Messages)
+	acc.rounds.Add(int64(next.LastActive))
+	acc.bs.Add(next.Bits)
+	if next.Unique {
+		acc.unique++
+	}
+	if next.LiveUnique {
+		acc.liveUnique++
+	}
 }
 
 // Run expands the spec and executes every trial on the work-stealing pool,
@@ -155,9 +186,42 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 		workers = defaultWorkers()
 	}
 	total := len(p.trials)
+
+	var (
+		groups []*groupAcc
+		byKey  = make(map[[6]string]*groupAcc)
+	)
+	aggregate := func(next *TrialResult) {
+		key := [6]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay, next.Fault}
+		acc, ok := byKey[key]
+		if !ok {
+			acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
+			byKey[key] = acc
+			groups = append(groups, acc)
+		}
+		acc.add(next)
+	}
+
+	// A resumed sweep re-aggregates the durable prefix from the
+	// checkpoint file; those trials are neither re-run nor re-emitted.
+	completed := 0
+	if rc.Resume != nil {
+		if err := rc.Resume.check(p.spec, total); err != nil {
+			return nil, err
+		}
+		completed = rc.Resume.Completed
+	}
 	for _, em := range rc.Emitters {
 		if err := em.Begin(p.spec, total); err != nil {
 			return nil, err
+		}
+	}
+	if rc.Resume != nil {
+		if err := rc.Resume.replay(func(tr TrialResult) error {
+			aggregate(&tr)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("harness: resume replay: %w", err)
 		}
 	}
 
@@ -167,7 +231,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 	states := make([]workerState, workers)
 	go func() {
 		defer close(results)
-		runPool(total, workers, func(i, w int) {
+		runPool(total-completed, workers, func(i, w int) {
 			select {
 			case <-poolDone:
 				return // consumer bailed on an emitter error
@@ -176,33 +240,29 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 			if states[w].cache == nil {
 				states[w].cache = preparedCache{}
 			}
-			results <- runTrial(p, p.trials[i], &states[w])
+			results <- runTrial(p, p.trials[completed+i], &states[w])
 		})
 	}()
 
 	// Single consumer: reorder to trial-index order, emit, aggregate.
-	// The reorder window holds only small TrialResult records.
+	// The reorder window is a power-of-two ring of small TrialResult
+	// records (see reorderRing).
 	var (
-		pending  = make(map[int]TrialResult)
-		nextEmit int
-		done     int
-		groups   []*groupAcc
-		byKey    = make(map[[6]string]*groupAcc)
-		emitErr  error
+		ring    = newReorderRing(2*workers, completed)
+		done    = completed
+		emitErr error
 	)
 	for tr := range results {
 		done++
 		if rc.Progress != nil {
 			rc.Progress(done, total)
 		}
-		pending[tr.Index] = tr
+		ring.put(tr)
 		for {
-			next, ok := pending[nextEmit]
+			next, ok := ring.take()
 			if !ok {
 				break
 			}
-			delete(pending, nextEmit)
-			nextEmit++
 			if emitErr == nil {
 				for _, em := range rc.Emitters {
 					if err := em.Trial(next); err != nil {
@@ -212,27 +272,7 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 					}
 				}
 			}
-			key := [6]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay, next.Fault}
-			acc, ok := byKey[key]
-			if !ok {
-				acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
-				byKey[key] = acc
-				groups = append(groups, acc)
-			}
-			acc.trials++
-			if next.Err != "" {
-				acc.errors++
-				continue
-			}
-			acc.msgs = append(acc.msgs, float64(next.Messages))
-			acc.rounds = append(acc.rounds, float64(next.LastActive))
-			acc.bs = append(acc.bs, float64(next.Bits))
-			if next.Unique {
-				acc.unique++
-			}
-			if next.LiveUnique {
-				acc.liveUnique++
-			}
+			aggregate(&next)
 		}
 	}
 	if emitErr != nil {
@@ -255,9 +295,9 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 			N: acc.n, M: acc.m, D: acc.d,
 			Trials:   acc.trials,
 			Errors:   acc.errors,
-			Messages: stats.Summarize(acc.msgs),
-			Rounds:   stats.Summarize(acc.rounds),
-			Bits:     stats.Summarize(acc.bs),
+			Messages: acc.msgs.Summary(),
+			Rounds:   acc.rounds.Summary(),
+			Bits:     acc.bs.Summary(),
 		}
 		if clean := acc.trials - acc.errors; clean > 0 {
 			gs.Success = float64(acc.unique) / float64(clean)

@@ -1,0 +1,89 @@
+package harness
+
+// reorderRing is the consumer's trial-index reorder window: workers
+// finish trials out of order, the emitters must see them in index order.
+// It replaces the old map[int]TrialResult — whose per-record bucket
+// churn and hashing dominated the consumer once the encoders went
+// allocation-free — with a power-of-two circular buffer indexed by
+// trial index & mask. base is the next index to emit; an occupied slot i
+// always holds trial (base + ((i - base) & mask)), so put/take are one
+// mask and one array access.
+//
+// The window grows by doubling when a result arrives more than len(buf)
+// ahead of base (with contiguous work-stealing shards the spread can
+// reach a full worker shard), so the ring never blocks the pool.
+type reorderRing struct {
+	buf  []TrialResult
+	occ  []bool
+	mask int
+	base int // next trial index to hand out
+}
+
+// newReorderRing sizes the initial window to a power of two covering at
+// least min slots (floor 256).
+func newReorderRing(min, base int) *reorderRing {
+	size := 256
+	for size < min {
+		size <<= 1
+	}
+	return &reorderRing{
+		buf:  make([]TrialResult, size),
+		occ:  make([]bool, size),
+		mask: size - 1,
+		base: base,
+	}
+}
+
+// put stores tr, growing the window if the index is beyond the current
+// span. Indices below base are gone (each trial arrives exactly once).
+func (r *reorderRing) put(tr TrialResult) {
+	for tr.Index-r.base >= len(r.buf) {
+		r.grow()
+	}
+	i := tr.Index & r.mask
+	r.buf[i] = tr
+	r.occ[i] = true
+}
+
+// take removes and returns the record at base, or ok=false if it has not
+// arrived yet. Drained slots are not zeroed — clearing ~200 bytes per
+// trial is measurable at 10^6-trial rates, and a stale record only pins
+// its strings until the window wraps, so retention is bounded by the
+// window size.
+func (r *reorderRing) take() (TrialResult, bool) {
+	i := r.base & r.mask
+	if !r.occ[i] {
+		return TrialResult{}, false
+	}
+	tr := r.buf[i]
+	r.occ[i] = false
+	r.base++
+	return tr, true
+}
+
+// pending returns the number of buffered records (test hook).
+func (r *reorderRing) pending() int {
+	n := 0
+	for _, o := range r.occ {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// grow doubles the window, re-homing occupied slots by their trial index
+// under the new mask.
+func (r *reorderRing) grow() {
+	size := len(r.buf) << 1
+	buf := make([]TrialResult, size)
+	occ := make([]bool, size)
+	mask := size - 1
+	for i, o := range r.occ {
+		if o {
+			buf[r.buf[i].Index&mask] = r.buf[i]
+			occ[r.buf[i].Index&mask] = true
+		}
+	}
+	r.buf, r.occ, r.mask = buf, occ, mask
+}

@@ -12,8 +12,10 @@
 // count. Results are streamed, not accumulated: workers discard the full
 // sim.Result (statuses, per-edge maps and other O(n) state) after
 // reducing it to a small TrialResult record. What the consumer retains is
-// the emit reorder window plus, for the exact order statistics in the
-// group summaries, three float64 samples per trial in the aggregator.
+// the emit reorder window (a power-of-two ring of TrialResult records)
+// plus exact value→count accumulators (stats.IntSample) per cell, so
+// consumer memory is flat in trial count while the group summaries keep
+// their exact order statistics.
 package harness
 
 import (

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIntSampleBitIdentical pins the drop-in contract: IntSample.Summary
+// must reproduce Summarize bit for bit on the same integer multiset, for
+// every sample shape the harness aggregator sees (empty, singleton, heavy
+// duplication, huge magnitudes, negatives, odd/even counts).
+func TestIntSampleBitIdentical(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{42},
+		{1, 1, 1, 1},
+		{3, 1, 2},
+		{5, -5, 0, 5, -5},
+		{1 << 40, 1, 1 << 40, 7, 7, 7},
+		{9223372036854775807, -9223372036854775808, 0},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		n := rng.Intn(200)
+		xs := make([]int64, n)
+		for j := range xs {
+			// Mix of small clustered values (duplicates) and wide ones.
+			if rng.Intn(2) == 0 {
+				xs[j] = int64(rng.Intn(10))
+			} else {
+				xs[j] = rng.Int63n(1<<50) - 1<<49
+			}
+		}
+		cases = append(cases, xs)
+	}
+	for ci, xs := range cases {
+		var acc IntSample
+		fs := make([]float64, len(xs))
+		for i, v := range xs {
+			acc.Add(v)
+			fs[i] = float64(v)
+		}
+		want := Summarize(fs)
+		got := acc.Summary()
+		if got != want {
+			t.Errorf("case %d (%d samples): IntSample summary %+v != Summarize %+v", ci, len(xs), got, want)
+		}
+		if acc.Count() != len(xs) {
+			t.Errorf("case %d: Count=%d want %d", ci, acc.Count(), len(xs))
+		}
+	}
+}
+
+// TestIntSampleMemoryBoundedByDistinct checks the point of the type: a
+// million observations over a small value domain keep the internal map at
+// domain size.
+func TestIntSampleMemoryBoundedByDistinct(t *testing.T) {
+	var acc IntSample
+	for i := 0; i < 1_000_000; i++ {
+		acc.Add(int64(i % 97))
+	}
+	if len(acc.counts) != 97 {
+		t.Fatalf("map holds %d entries, want 97", len(acc.counts))
+	}
+	if acc.Count() != 1_000_000 {
+		t.Fatalf("Count=%d", acc.Count())
+	}
+	s := acc.Summary()
+	if s.Count != 1_000_000 || s.Min != 0 || s.Max != 96 {
+		t.Fatalf("summary %+v", s)
+	}
+}
