@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-shuffle test-race test-sweep race race-matrix bench bench-smoke bench-graph bench-faults bench-shard bench-sweep sweep-smoke fmt fmt-check vet docs-check ci
+.PHONY: build test test-shuffle test-race test-sweep race race-matrix bench bench-smoke bench-graph bench-faults bench-shard bench-sweep sweep-smoke serve-smoke bench-serve fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,24 @@ bench-sweep:
 sweep-smoke:
 	$(GO) run ./cmd/ule-experiments -sweep builtin:smoke -workers 4 -json - -progress=false > /dev/null
 
+# Serving-layer smoke (docs/SERVICE.md): boot uled on an ephemeral port,
+# run the uled-load correctness sequence against it (elections byte-
+# identical across repeats and to the batch path, a streamed sweep
+# byte-identical to a local harness run, the async job lifecycle, a
+# guaranteed 400, goroutine flatness), then SIGTERM and require a clean
+# drain. Wired into CI.
+serve-smoke:
+	$(GO) build -o bin/uled ./cmd/uled
+	$(GO) run ./cmd/uled-load -spawn bin/uled -smoke
+
+# The serving-layer measurement set (docs/PERFORMANCE.md § "Serving
+# layer"): closed-loop load at three concurrency levels against a
+# spawned server. Used to regenerate BENCH_SERVE.json.
+bench-serve:
+	$(GO) build -o bin/uled ./cmd/uled
+	$(GO) run ./cmd/uled-load -spawn bin/uled -levels 4,16,64 -duration 3s -out BENCH_SERVE.json
+	@cat BENCH_SERVE.json
+
 fmt:
 	gofmt -w .
 
@@ -123,4 +141,4 @@ docs-check: fmt-check vet
 	$(GO) test -run Example ./...
 
 # Everything the CI pipeline runs, in the same order.
-ci: fmt-check vet build test-shuffle race race-matrix test-sweep bench-smoke sweep-smoke docs-check
+ci: fmt-check vet build test-shuffle race race-matrix test-sweep bench-smoke sweep-smoke serve-smoke docs-check

@@ -45,15 +45,14 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
+	"ule/internal/cmdutil"
 	"ule/internal/core"
 	"ule/internal/harness"
 	"ule/internal/lowerbound"
@@ -197,36 +196,18 @@ func exportBinary(binPath, jsonOut string) error {
 	return nil
 }
 
-// runSweep executes one declarative sweep spec through the harness.
+// runSweep executes one declarative sweep spec through the harness. Spec
+// loading and the axis overrides live in internal/cmdutil, shared with
+// cmd/ule and the uled serving layer.
 func runSweep(specArg string, o sweepOpts) error {
-	var spec harness.Spec
-	switch specArg {
-	case "builtin:smoke":
-		spec = harness.Smoke()
-	default:
-		data, err := os.ReadFile(specArg)
-		if err != nil {
-			return err
-		}
-		if err := json.Unmarshal(data, &spec); err != nil {
-			return fmt.Errorf("sweep spec %s: %w", specArg, err)
-		}
+	spec, err := cmdutil.LoadSpec(specArg)
+	if err != nil {
+		return err
 	}
-	if o.mode != "" {
-		spec.Modes = strings.Split(o.mode, ",")
-	}
-	if o.delays != "" {
-		spec.Delays = strings.Split(o.delays, ",")
-	}
-	if o.faults != "" {
-		spec.Faults = strings.Split(o.faults, ",")
-	}
-	if o.diamEstimate {
-		spec.DiameterEstimate = true
-	}
-	if o.shards != 0 {
-		spec.Shards = o.shards
-	}
+	cmdutil.SpecOverrides{
+		Modes: o.mode, Delays: o.delays, Faults: o.faults,
+		DiameterEstimate: o.diamEstimate, Shards: o.shards,
+	}.Apply(&spec)
 	rc := harness.RunConfig{Workers: o.workers}
 	if o.resume != "" {
 		// A resumed run appends to the binary file; the text emitters

@@ -29,7 +29,7 @@ import (
 	"runtime/pprof"
 
 	"ule/election"
-	"ule/internal/graph"
+	"ule/internal/cmdutil"
 	"ule/internal/sim"
 	"ule/internal/stats"
 )
@@ -100,32 +100,9 @@ func run(args []string) error {
 	}
 	// Resolve the execution model: -model wins; otherwise the legacy
 	// -mode/-delay flags are composed into the same spec grammar, and
-	// -faults appends the fault adversary either way.
-	modelSpec := *model
-	if modelSpec == "" {
-		m, err := sim.ParseMode(*mode)
-		if err != nil {
-			return err
-		}
-		if *local {
-			m = sim.LOCAL
-		}
-		switch m {
-		case sim.LOCAL:
-			modelSpec = "local"
-		case sim.ASYNC:
-			modelSpec = "async"
-		default:
-			modelSpec = "congest"
-		}
-		if *delay != "" {
-			modelSpec += "+" + *delay
-		}
-	}
-	if *faults != "" {
-		modelSpec += "+" + *faults
-	}
-	em, err := sim.ParseModel(modelSpec)
+	// -faults appends the fault adversary either way (shared helper, also
+	// used by ule-experiments and the uled serving layer).
+	em, err := cmdutil.ResolveModel(*model, *mode, *delay, *faults, *local)
 	if err != nil {
 		return err
 	}
@@ -184,8 +161,8 @@ func run(args []string) error {
 	return nil
 }
 
-// buildGraph parses the -graph family spec through the shared parser in
-// internal/graph (the same grammar the sweep harness accepts).
+// buildGraph parses the -graph family spec through the shared helper in
+// internal/cmdutil (the same grammar the sweep harness and uled accept).
 func buildGraph(spec string, seed int64) (*election.Graph, error) {
-	return graph.FromSpec(spec, seed)
+	return cmdutil.BuildGraph(spec, seed)
 }

@@ -1,0 +1,717 @@
+// Command uled-load is the closed-loop load harness for the uled server:
+// it drives POST /v1/elections and POST /v1/sweeps at configurable
+// concurrency and request mix, records p50/p95/p99 latency and
+// elections/sec per level, checks goroutine flatness and byte-identity
+// against the batch path, and writes the measurement document consumed
+// by BENCH_SERVE.json.
+//
+// Usage:
+//
+//	uled-load -addr http://127.0.0.1:8080 -levels 4,16,64 -duration 3s
+//	uled-load -spawn bin/uled -levels 4,16,64 -out BENCH_SERVE.json
+//	uled-load -spawn bin/uled -smoke        # CI boot check (make serve-smoke)
+//
+// -spawn boots its own uled on an ephemeral port (via -addr-file), sends
+// SIGTERM when done, and fails unless the server drains and exits 0 — so
+// one invocation exercises boot, load and graceful shutdown end to end.
+//
+// -smoke runs the correctness sequence instead of a load sweep: healthz,
+// a deterministic election (served twice, byte-identical, and equal to
+// the locally computed batch result), a streamed sweep verified
+// byte-for-byte against a local harness run, an async job lifecycle
+// (submit, poll, fetch, delete), a guaranteed-400 model error, and a
+// goroutine-flatness check via /debug/vars.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ule/internal/cmdutil"
+	"ule/internal/harness"
+	"ule/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "uled-load:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr       string
+	levels     []int
+	duration   time.Duration
+	warmup     time.Duration
+	sweepEvery int
+	graph      string
+	algo       string
+	model      string
+	seed       int64
+	out        string
+	verify     bool
+	sweepSpec  harness.Spec
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("uled-load", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "", "server base URL (e.g. http://127.0.0.1:8080); empty with -spawn")
+		spawn      = fs.String("spawn", "", "path to a uled binary to boot on an ephemeral port and shut down after the run")
+		spawnArgs  = fs.String("spawn-args", "", "extra uled flags for -spawn (space-separated)")
+		smoke      = fs.Bool("smoke", false, "run the boot/correctness sequence instead of a load sweep")
+		levels     = fs.String("levels", "4,16,64", "comma-separated closed-loop concurrency levels")
+		duration   = fs.Duration("duration", 3*time.Second, "measured time per level")
+		warmup     = fs.Duration("warmup", 500*time.Millisecond, "per-level warmup (not measured)")
+		sweepEvery = fs.Int("sweep-every", 16, "every Nth request per worker is a sweep (0 = elections only)")
+		graphSpec  = fs.String("graph", "ring:64", "election request graph spec")
+		algo       = fs.String("algo", "leastel", "election request algorithm")
+		model      = fs.String("model", "", "election request execution model")
+		seed       = fs.Int64("seed", 1, "base seed; each request increments it")
+		sweepFile  = fs.String("sweep-spec", "", "sweep-mix spec: JSON file or builtin:smoke (default: a small built-in mix)")
+		out        = fs.String("out", "", "write the measurement JSON here (default stdout)")
+		verify     = fs.Bool("verify", true, "verify server sweep stream byte-identical to a local harness run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := options{
+		addr: *addr, duration: *duration, warmup: *warmup,
+		sweepEvery: *sweepEvery, graph: *graphSpec, algo: *algo,
+		model: *model, seed: *seed, out: *out, verify: *verify,
+	}
+	for _, s := range strings.Split(*levels, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -levels entry %q", s)
+		}
+		o.levels = append(o.levels, v)
+	}
+	if *sweepFile != "" {
+		spec, err := cmdutil.LoadSpec(*sweepFile)
+		if err != nil {
+			return err
+		}
+		o.sweepSpec = spec
+	} else {
+		o.sweepSpec = harness.Spec{
+			Name:     "serve-mix",
+			Algos:    []string{"leastel", "flood"},
+			Graphs:   []string{"ring:32"},
+			Trials:   2,
+			Seed:     7,
+			SmallIDs: true,
+		}
+	}
+
+	if *spawn != "" {
+		sp, err := spawnServer(*spawn, strings.Fields(*spawnArgs))
+		if err != nil {
+			return err
+		}
+		o.addr = "http://" + sp.addr
+		runErr := dispatch(o, *smoke)
+		stopErr := sp.stop()
+		if runErr != nil {
+			return runErr
+		}
+		return stopErr
+	}
+	if o.addr == "" {
+		return fmt.Errorf("need -addr or -spawn")
+	}
+	if !strings.HasPrefix(o.addr, "http") {
+		o.addr = "http://" + o.addr
+	}
+	return dispatch(o, *smoke)
+}
+
+func dispatch(o options, smoke bool) error {
+	if smoke {
+		return runSmoke(o)
+	}
+	return runBench(o)
+}
+
+// ---- server spawning ----
+
+type spawned struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnServer boots a uled binary on an ephemeral port and waits for its
+// -addr-file to appear.
+func spawnServer(bin string, extra []string) (*spawned, error) {
+	dir, err := os.MkdirTemp("", "uled-load")
+	if err != nil {
+		return nil, err
+	}
+	addrFile := filepath.Join(dir, "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawn %s: %w", bin, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return &spawned{cmd: cmd, addr: string(data)}, nil
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("spawned server did not come up within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stop sends SIGTERM and requires a clean (exit 0) drain within 30s —
+// the graceful-shutdown assertion of `make serve-smoke`.
+func (s *spawned) stop() error {
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal server: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exited uncleanly after SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		s.cmd.Process.Kill()
+		return fmt.Errorf("server did not drain within 30s of SIGTERM")
+	}
+}
+
+// ---- HTTP helpers ----
+
+func newClient(concurrency int) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * concurrency,
+			MaxIdleConnsPerHost: 2 * concurrency,
+		},
+		Timeout: 60 * time.Second,
+	}
+}
+
+func postJSON(c *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// goroutines reads the uled_goroutines expvar.
+func goroutines(c *http.Client, base string) (int, error) {
+	var vars struct {
+		Goroutines int `json:"uled_goroutines"`
+	}
+	if err := getJSON(c, base+"/debug/vars", &vars); err != nil {
+		return 0, err
+	}
+	return vars.Goroutines, nil
+}
+
+func (o options) electionBody(seed int64) []byte {
+	req := serve.ElectionRequest{
+		Graph: o.graph, Algo: o.algo, Model: o.model, Seed: seed,
+	}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+// countTrialLines counts the trial records of an NDJSON sweep stream
+// (every line except the header and the groups trailer).
+func countTrialLines(body []byte) int {
+	n := 0
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	return n - 2
+}
+
+// localSweepNDJSON renders the batch-path NDJSON document for spec.
+func localSweepNDJSON(spec harness.Spec) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := harness.Run(spec, harness.RunConfig{
+		Workers:  1,
+		Emitters: []harness.Emitter{harness.NewNDJSONEmitter(&buf)},
+	})
+	return buf.Bytes(), err
+}
+
+// ---- smoke mode ----
+
+func runSmoke(o options) error {
+	c := newClient(4)
+	base := o.addr
+	step := func(name string, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "uled-load: smoke %-28s ok\n", name)
+		return nil
+	}
+
+	// healthz.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := step("healthz", getJSON(c, base+"/healthz", &health)); err != nil {
+		return err
+	}
+	g0, err := goroutines(c, base)
+	if err := step("debug/vars", err); err != nil {
+		return err
+	}
+
+	// One election, served twice: byte-identical responses, and equal to
+	// the locally computed batch-path result.
+	body := o.electionBody(o.seed)
+	code, first, err := postJSON(c, base+"/v1/elections", body)
+	if err == nil && code != http.StatusOK {
+		err = fmt.Errorf("status %d: %s", code, first)
+	}
+	if err := step("election", err); err != nil {
+		return err
+	}
+	_, second, err := postJSON(c, base+"/v1/elections", body)
+	if err == nil && !bytes.Equal(first, second) {
+		err = fmt.Errorf("same seed, different responses")
+	}
+	if err := step("election determinism", err); err != nil {
+		return err
+	}
+	local := serve.NewManager(serve.Config{Slots: 1})
+	var req serve.ElectionRequest
+	json.Unmarshal(body, &req)
+	want, err := localElectionJSON(local, req)
+	if err == nil && !bytes.Equal(bytes.TrimRight(first, "\n"), want) {
+		err = fmt.Errorf("served result differs from the batch path:\n  served %s\n  batch  %s", first, want)
+	}
+	if err := step("election vs batch", err); err != nil {
+		return err
+	}
+
+	// A guaranteed 400 carrying the offending token.
+	bad := []byte(`{"graph":"ring:8","algo":"leastel","model":"bogusmodel"}`)
+	code, resp, err := postJSON(c, base+"/v1/elections", bad)
+	if err == nil {
+		if code != http.StatusBadRequest {
+			err = fmt.Errorf("want 400, got %d", code)
+		} else if !bytes.Contains(resp, []byte("bogusmodel")) {
+			err = fmt.Errorf("400 body does not name the offending token: %s", resp)
+		}
+	}
+	if err := step("model error -> 400", err); err != nil {
+		return err
+	}
+
+	// A streamed sweep, byte-identical to the local batch run.
+	specJSON, _ := json.Marshal(o.sweepSpec)
+	code, stream, err := postJSON(c, base+"/v1/sweeps", specJSON)
+	if err == nil && code != http.StatusOK {
+		err = fmt.Errorf("status %d: %s", code, stream)
+	}
+	if err := step("sweep stream", err); err != nil {
+		return err
+	}
+	want, err = localSweepNDJSON(o.sweepSpec)
+	if err == nil && !bytes.Equal(stream, want) {
+		err = fmt.Errorf("served NDJSON differs from the batch path (%d vs %d bytes)", len(stream), len(want))
+	}
+	if err := step("sweep vs batch", err); err != nil {
+		return err
+	}
+
+	// Async job lifecycle: submit, poll to done, fetch result, delete.
+	code, acc, err := postJSON(c, base+"/v1/sweeps?async=1", specJSON)
+	if err == nil && code != http.StatusAccepted {
+		err = fmt.Errorf("status %d: %s", code, acc)
+	}
+	if err := step("async submit", err); err != nil {
+		return err
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(acc, &job); err != nil {
+		return fmt.Errorf("async submit: %w", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := getJSON(c, base+"/v1/jobs/"+job.ID, &job); err != nil {
+			return fmt.Errorf("job poll: %w", err)
+		}
+		if job.State == "done" || job.State == "failed" || job.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s did not finish within 30s", job.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var jobErr error
+	if job.State != "done" {
+		jobErr = fmt.Errorf("job ended %s: %s", job.State, job.Error)
+	}
+	if err := step("async done", jobErr); err != nil {
+		return err
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+job.ID, nil)
+	resp2, err := c.Do(delReq)
+	if err == nil {
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusOK {
+			err = fmt.Errorf("delete status %d", resp2.StatusCode)
+		}
+	}
+	if err := step("job delete", err); err != nil {
+		return err
+	}
+
+	// Goroutine flatness after everything settled.
+	var g1 int
+	flatErr := waitFlat(func() (bool, error) {
+		var err error
+		g1, err = goroutines(c, base)
+		return err == nil && g1 <= g0+8, err
+	}, 5*time.Second)
+	if flatErr != nil {
+		flatErr = fmt.Errorf("goroutines grew %d -> %d: %w", g0, g1, flatErr)
+	}
+	return step(fmt.Sprintf("goroutines flat (%d -> %d)", g0, g1), flatErr)
+}
+
+// localElectionJSON computes the batch-path election result document.
+func localElectionJSON(m *serve.Manager, req serve.ElectionRequest) ([]byte, error) {
+	res, err := m.RunElection(noCancel{}, req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// noCancel is a never-done context (the local verification runs have no
+// request lifetime to inherit).
+type noCancel struct{}
+
+func (noCancel) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (noCancel) Done() <-chan struct{}       { return nil }
+func (noCancel) Err() error                  { return nil }
+func (noCancel) Value(any) any               { return nil }
+
+func waitFlat(check func() (bool, error), budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		ok, err := check()
+		lastErr = err
+		if ok {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	return fmt.Errorf("still above the flatness bound after %v", budget)
+}
+
+// ---- bench mode ----
+
+// levelResult is one concurrency level's measurement.
+type levelResult struct {
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Elections   int64   `json:"elections"`
+	Sweeps      int64   `json:"sweeps"`
+	// Trials counts sweep trial records; each is one served election, so
+	// ElectionsPerSec = (Elections + Trials) / DurationSec.
+	Trials          int64      `json:"trials"`
+	ElectionsPerSec float64    `json:"elections_per_sec"`
+	LatencyMS       latencySet `json:"latency_ms"`
+	GoroutinesAfter int        `json:"goroutines_after"`
+}
+
+type latencySet struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// benchDoc is the BENCH_SERVE.json document.
+type benchDoc struct {
+	Bench      string `json:"bench"`
+	Server     string `json:"server"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Method describes how the numbers were measured (docs/PERFORMANCE.md
+	// § "Serving layer" records the full protocol).
+	Method    string        `json:"method"`
+	Election  string        `json:"election_request"`
+	SweepMix  string        `json:"sweep_mix"`
+	Levels    []levelResult `json:"levels"`
+	Sustained struct {
+		GoroutinesStart int  `json:"goroutines_start"`
+		GoroutinesEnd   int  `json:"goroutines_end"`
+		Flat            bool `json:"flat"`
+	} `json:"sustained"`
+	VerifiedByteIdentical bool `json:"verified_byte_identical"`
+}
+
+func runBench(o options) error {
+	base := o.addr
+	probe := newClient(4)
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := getJSON(probe, base+"/healthz", &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	g0, err := goroutines(probe, base)
+	if err != nil {
+		return fmt.Errorf("debug/vars: %w", err)
+	}
+
+	doc := benchDoc{
+		Bench:      "uled-load",
+		Server:     "cmd/uled",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Method: fmt.Sprintf("closed loop, %v per level after %v warmup; every %dth request per worker is a sweep; latency percentiles over election requests",
+			o.duration, o.warmup, o.sweepEvery),
+		Election: fmt.Sprintf("{graph:%s, algo:%s, model:%q, seed:base+i}", o.graph, o.algo, o.model),
+		SweepMix: fmt.Sprintf("%s (%d trials)", o.sweepSpec.Name, o.sweepSpec.NumTrials()),
+	}
+
+	if o.verify {
+		specJSON, _ := json.Marshal(o.sweepSpec)
+		code, stream, err := postJSON(probe, base+"/v1/sweeps", specJSON)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("verify sweep: status %d err %v", code, err)
+		}
+		want, err := localSweepNDJSON(o.sweepSpec)
+		if err != nil {
+			return fmt.Errorf("verify local run: %w", err)
+		}
+		if !bytes.Equal(stream, want) {
+			return fmt.Errorf("served NDJSON differs from the batch path (%d vs %d bytes)", len(stream), len(want))
+		}
+		doc.VerifiedByteIdentical = true
+		fmt.Fprintln(os.Stderr, "uled-load: sweep stream verified byte-identical to the batch path")
+	}
+
+	seedCtr := o.seed
+	for _, conc := range o.levels {
+		lv, err := o.runLevel(base, conc, &seedCtr)
+		if err != nil {
+			return fmt.Errorf("level %d: %w", conc, err)
+		}
+		doc.Levels = append(doc.Levels, *lv)
+		fmt.Fprintf(os.Stderr, "uled-load: c=%-4d %8.0f elections/s  p50=%.2fms p95=%.2fms p99=%.2fms  errors=%d\n",
+			conc, lv.ElectionsPerSec, lv.LatencyMS.P50, lv.LatencyMS.P95, lv.LatencyMS.P99, lv.Errors)
+	}
+
+	g1, err := goroutines(probe, base)
+	if err != nil {
+		return err
+	}
+	// Give the server a beat to reap per-connection goroutines, then
+	// judge flatness against the pre-load baseline.
+	flat := g1 <= g0+8
+	if !flat {
+		if waitFlat(func() (bool, error) {
+			var err error
+			g1, err = goroutines(probe, base)
+			return err == nil && g1 <= g0+8, err
+		}, 5*time.Second) == nil {
+			flat = true
+		}
+	}
+	doc.Sustained.GoroutinesStart = g0
+	doc.Sustained.GoroutinesEnd = g1
+	doc.Sustained.Flat = flat
+	if !flat {
+		fmt.Fprintf(os.Stderr, "uled-load: WARNING goroutines grew %d -> %d\n", g0, g1)
+	}
+
+	enc, _ := json.MarshalIndent(doc, "", "  ")
+	enc = append(enc, '\n')
+	if o.out == "" || o.out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(o.out, enc, 0o644)
+}
+
+// runLevel drives one closed-loop concurrency level.
+func (o options) runLevel(base string, conc int, seedCtr *int64) (*levelResult, error) {
+	client := newClient(conc)
+	electionURL := base + "/v1/elections"
+	sweepURL := base + "/v1/sweeps"
+	sweepJSON, _ := json.Marshal(o.sweepSpec)
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		requests  atomic.Int64
+		errs      atomic.Int64
+		elections atomic.Int64
+		sweeps    atomic.Int64
+		trials    atomic.Int64
+	)
+	lats := make([][]float64, conc) // per-worker election latencies (ms)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				isSweep := o.sweepEvery > 0 && i%o.sweepEvery == o.sweepEvery-1
+				start := time.Now()
+				var (
+					code int
+					body []byte
+					err  error
+				)
+				if isSweep {
+					code, body, err = postJSON(client, sweepURL, sweepJSON)
+				} else {
+					seed := atomic.AddInt64(seedCtr, 1)
+					code, body, err = postJSON(client, electionURL, o.electionBody(seed))
+				}
+				if !measuring.Load() {
+					continue // warmup or drain
+				}
+				requests.Add(1)
+				if err != nil || code != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				if isSweep {
+					sweeps.Add(1)
+					trials.Add(int64(countTrialLines(body)))
+				} else {
+					elections.Add(1)
+					lats[w] = append(lats[w], float64(time.Since(start).Microseconds())/1000)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(o.warmup)
+	measuring.Store(true)
+	t0 := time.Now()
+	time.Sleep(o.duration)
+	measuring.Store(false)
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("no successful election requests (errors=%d)", errs.Load())
+	}
+	sort.Float64s(all)
+	lv := &levelResult{
+		Concurrency: conc,
+		DurationSec: elapsed.Seconds(),
+		Requests:    requests.Load(),
+		Errors:      errs.Load(),
+		Elections:   elections.Load(),
+		Sweeps:      sweeps.Load(),
+		Trials:      trials.Load(),
+		LatencyMS: latencySet{
+			P50:  percentile(all, 0.50),
+			P95:  percentile(all, 0.95),
+			P99:  percentile(all, 0.99),
+			Mean: mean(all),
+			Max:  all[len(all)-1],
+		},
+	}
+	lv.ElectionsPerSec = float64(lv.Elections+lv.Trials) / elapsed.Seconds()
+	// Return this level's keep-alive connections before sampling, so the
+	// goroutine figure reflects the server, not the client's idle pool.
+	client.CloseIdleConnections()
+	time.Sleep(50 * time.Millisecond)
+	if g, err := goroutines(client, base); err == nil {
+		lv.GoroutinesAfter = g
+	}
+	client.CloseIdleConnections()
+	return lv, nil
+}
+
+// percentile returns the q-quantile of sorted xs (nearest-rank with
+// linear interpolation between the surrounding order statistics).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,106 @@
+// Package cmdutil holds the small request/flag-resolution helpers shared
+// by the command-line front ends (cmd/ule, cmd/ule-experiments) and the
+// serving layer (cmd/uled via internal/serve): graph-spec construction,
+// execution-model composition from the legacy flag split, sweep-spec
+// loading and the CLI axis overrides. Each helper used to be copied
+// between the commands; this package is the single home.
+package cmdutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"ule/internal/graph"
+	"ule/internal/harness"
+	"ule/internal/sim"
+)
+
+// BuildGraph parses a graph family spec through the shared parser in
+// internal/graph — the same grammar the sweep harness and the serving
+// layer accept.
+func BuildGraph(spec string, seed int64) (*graph.Graph, error) {
+	return graph.FromSpec(spec, seed)
+}
+
+// ResolveModel composes the execution-model flag set into one validated
+// sim.ModelSpec. model ("async+random:4+crash:0.2", ...) wins when
+// non-empty; otherwise the legacy mode/delay/local flags are folded into
+// the same spec grammar (local overrides mode, a delay term is appended
+// when set). faults appends the fault adversary either way.
+func ResolveModel(model, mode, delay, faults string, local bool) (sim.ModelSpec, error) {
+	spec := model
+	if spec == "" {
+		m, err := sim.ParseMode(mode)
+		if err != nil {
+			return sim.ModelSpec{}, err
+		}
+		if local {
+			m = sim.LOCAL
+		}
+		switch m {
+		case sim.LOCAL:
+			spec = "local"
+		case sim.ASYNC:
+			spec = "async"
+		default:
+			spec = "congest"
+		}
+		if delay != "" {
+			spec += "+" + delay
+		}
+	}
+	if faults != "" {
+		spec += "+" + faults
+	}
+	return sim.ParseModel(spec)
+}
+
+// LoadSpec reads a harness sweep spec: the literal "builtin:smoke" or a
+// JSON file path (ule-sweep/v3 spec schema, docs/SWEEP_SCHEMA.md).
+func LoadSpec(arg string) (harness.Spec, error) {
+	if arg == "builtin:smoke" {
+		return harness.Smoke(), nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return harness.Spec{}, err
+	}
+	var spec harness.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return harness.Spec{}, fmt.Errorf("sweep spec %s: %w", arg, err)
+	}
+	return spec, nil
+}
+
+// SpecOverrides carries the CLI axis overrides applied on top of a loaded
+// sweep spec, so one spec file serves the synchronous, asynchronous and
+// faulty scenario space. Zero values leave the spec untouched.
+type SpecOverrides struct {
+	// Modes, Delays and Faults are comma-separated axis replacements.
+	Modes, Delays, Faults string
+	// DiameterEstimate switches D-dependent cells to graph.DiameterEstimate.
+	DiameterEstimate bool
+	// Shards overrides the engine shard count (0 keeps the spec value).
+	Shards int
+}
+
+// Apply rewrites spec in place with the non-zero overrides.
+func (o SpecOverrides) Apply(spec *harness.Spec) {
+	if o.Modes != "" {
+		spec.Modes = strings.Split(o.Modes, ",")
+	}
+	if o.Delays != "" {
+		spec.Delays = strings.Split(o.Delays, ",")
+	}
+	if o.Faults != "" {
+		spec.Faults = strings.Split(o.Faults, ",")
+	}
+	if o.DiameterEstimate {
+		spec.DiameterEstimate = true
+	}
+	if o.Shards != 0 {
+		spec.Shards = o.Shards
+	}
+}

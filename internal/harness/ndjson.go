@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NDJSONSchemaVersion identifies the newline-delimited streaming layout
+// written by NewNDJSONEmitter: one JSON object per line, no enclosing
+// document. The layout:
+//
+//	line 1    {"schema":"ule-sweep-ndjson/v1","spec":{...},"total_trials":N}
+//	per trial one object, byte-identical to the trial objects of the
+//	          ule-sweep/v3 JSON document (same appendTrialJSON encoder)
+//	last line {"groups":[...],"total_trials":N,"errors":E}
+//
+// Every line is a single Write call, so an unbuffered sink (an HTTP
+// response with per-write flushing, a pipe) observes complete records —
+// this is the streaming format of the uled serving layer (docs/SERVICE.md).
+const NDJSONSchemaVersion = "ule-sweep-ndjson/v1"
+
+// ndjsonEmitter streams one object per line through the zero-reflection
+// append encoders over a reusable buffer. Unlike jsonEmitter it does not
+// buffer across records: each line reaches the sink as one Write.
+type ndjsonEmitter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewNDJSONEmitter returns an emitter streaming newline-delimited JSON to
+// w (one header line, one line per trial, one trailer line — see
+// NDJSONSchemaVersion). Trial lines are byte-identical to the trial
+// objects inside the ule-sweep/v3 document, pinned by ndjson_test.go.
+func NewNDJSONEmitter(w io.Writer) Emitter {
+	return &ndjsonEmitter{w: w}
+}
+
+func (e *ndjsonEmitter) Begin(spec Spec, total int) error {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(e.w, "{\"schema\":%q,\"spec\":%s,\"total_trials\":%d}\n",
+		NDJSONSchemaVersion, specJSON, total)
+	return err
+}
+
+func (e *ndjsonEmitter) Trial(tr TrialResult) error {
+	b := appendTrialJSON(e.buf[:0], &tr)
+	b = append(b, '\n')
+	e.buf = b
+	_, err := e.w.Write(b)
+	return err
+}
+
+func (e *ndjsonEmitter) End(rep *Report) error {
+	groups, err := json.Marshal(rep.Groups)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(e.w, "{\"groups\":%s,\"total_trials\":%d,\"errors\":%d}\n",
+		groups, rep.Total, rep.Errors)
+	return err
+}

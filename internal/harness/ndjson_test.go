@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func ndjsonSpec() Spec {
+	return Spec{
+		Name:     "ndjson-test",
+		Algos:    []string{"leastel", "flood"},
+		Graphs:   []string{"ring:16", "random:24:72"},
+		Trials:   2,
+		Seed:     11,
+		SmallIDs: true,
+	}
+}
+
+// TestNDJSONMatchesDocument pins the stream to the ule-sweep/v3 document:
+// same header spec, trial lines byte-identical to the document's trial
+// objects, trailer groups byte-identical to the document's groups.
+func TestNDJSONMatchesDocument(t *testing.T) {
+	spec := ndjsonSpec()
+	var stream, doc bytes.Buffer
+	if _, err := Run(spec, RunConfig{
+		Workers:  1,
+		Emitters: []Emitter{NewNDJSONEmitter(&stream), NewJSONEmitter(&doc)},
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(stream.String(), "\n"), "\n")
+	total := spec.NumTrials()
+	if len(lines) != total+2 {
+		t.Fatalf("stream has %d lines, want %d (header + %d trials + trailer)", len(lines), total+2, total)
+	}
+
+	var header struct {
+		Schema      string          `json:"schema"`
+		Spec        json.RawMessage `json:"spec"`
+		TotalTrials int             `json:"total_trials"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("bad header line: %v", err)
+	}
+	if header.Schema != NDJSONSchemaVersion || header.TotalTrials != total {
+		t.Fatalf("header = %s %d, want %s %d", header.Schema, header.TotalTrials, NDJSONSchemaVersion, total)
+	}
+
+	var parsed struct {
+		Spec   json.RawMessage   `json:"spec"`
+		Trials []json.RawMessage `json:"trials"`
+		Groups json.RawMessage   `json:"groups"`
+	}
+	if err := json.Unmarshal(doc.Bytes(), &parsed); err != nil {
+		t.Fatalf("bad v3 document: %v", err)
+	}
+	if !bytes.Equal(header.Spec, parsed.Spec) {
+		t.Fatalf("header spec differs from the document spec:\n  %s\n  %s", header.Spec, parsed.Spec)
+	}
+	if len(parsed.Trials) != total {
+		t.Fatalf("document has %d trials, want %d", len(parsed.Trials), total)
+	}
+	for i, want := range parsed.Trials {
+		if got := lines[1+i]; got != string(want) {
+			t.Fatalf("trial line %d diverges from the document trial object:\n  stream   %s\n  document %s", i, got, want)
+		}
+	}
+
+	var trailer struct {
+		Groups      json.RawMessage `json:"groups"`
+		TotalTrials int             `json:"total_trials"`
+		Errors      int             `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("bad trailer line: %v", err)
+	}
+	if trailer.TotalTrials != total {
+		t.Fatalf("trailer total_trials = %d, want %d", trailer.TotalTrials, total)
+	}
+	if !bytes.Equal(trailer.Groups, parsed.Groups) {
+		t.Fatalf("trailer groups differ from the document groups")
+	}
+}
+
+// TestNDJSONWorkerInvariance: the stream is byte-identical at any worker
+// count (emission order is the trial order, not completion order).
+func TestNDJSONWorkerInvariance(t *testing.T) {
+	spec := ndjsonSpec()
+	var one, many bytes.Buffer
+	if _, err := Run(spec, RunConfig{Workers: 1, Emitters: []Emitter{NewNDJSONEmitter(&one)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, RunConfig{Workers: 4, Emitters: []Emitter{NewNDJSONEmitter(&many)}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), many.Bytes()) {
+		t.Fatalf("stream differs across worker counts (%d vs %d bytes)", one.Len(), many.Len())
+	}
+}
+
+// TestNDJSONSingleWriteLines: every record reaches the sink as exactly
+// one Write (the property the HTTP streaming path relies on).
+func TestNDJSONSingleWriteLines(t *testing.T) {
+	spec := ndjsonSpec()
+	w := &writeRecorder{}
+	if _, err := Run(spec, RunConfig{Workers: 1, Emitters: []Emitter{NewNDJSONEmitter(w)}}); err != nil {
+		t.Fatal(err)
+	}
+	want := spec.NumTrials() + 2
+	if len(w.writes) != want {
+		t.Fatalf("%d writes, want %d (one per line)", len(w.writes), want)
+	}
+	for i, p := range w.writes {
+		if !bytes.HasSuffix(p, []byte("\n")) || bytes.Count(p, []byte("\n")) != 1 {
+			t.Fatalf("write %d is not exactly one line: %q", i, p)
+		}
+	}
+}
+
+type writeRecorder struct{ writes [][]byte }
+
+func (w *writeRecorder) Write(p []byte) (int, error) {
+	w.writes = append(w.writes, append([]byte(nil), p...))
+	return len(p), nil
+}

@@ -204,6 +204,30 @@ func wakeSchedule(spec string, n int, trialSeed int64) []int {
 	}
 }
 
+// WakeSchedule validates and materializes a wake-schedule spec for an
+// n-node run, exactly as the sweep expansion does for its trials (the
+// schedule derives from trialSeed, so a server-side run reproduces the
+// batch path byte-for-byte). Exported for the uled serving layer.
+func WakeSchedule(spec string, n int, trialSeed int64) ([]int, error) {
+	if err := parseWake(spec); err != nil {
+		return nil, err
+	}
+	return wakeSchedule(spec, n, trialSeed), nil
+}
+
+// Validate compiles the spec — axis grammars parsed, algorithms resolved,
+// graphs instantiated — and returns the expanded trial count. It is the
+// pre-flight check of the serving layer: a spec that validates cannot
+// fail Run with a spec error (trial-level model violations are still
+// recorded per trial).
+func (s Spec) Validate() (int, error) {
+	p, err := s.compile()
+	if err != nil {
+		return 0, err
+	}
+	return len(p.trials), nil
+}
+
 // withDefaults resolves the zero values of optional fields.
 func (s Spec) withDefaults() Spec {
 	if s.Trials <= 0 {

@@ -1,0 +1,914 @@
+// Package serve is the election-as-a-service subsystem behind cmd/uled:
+// a job manager executing single elections and whole sweeps on a bounded
+// pool of reusable worker slots, with an HTTP front end (http.go) that
+// streams sweep results as NDJSON.
+//
+// Slots are the request-scoped reuse unit. Each slot owns a graph cache
+// (instantiated families plus their memoized diameters), a core.Prepared
+// cache — the engine-arena/Runner recycling the batch harness uses per
+// worker — and one recycled sim.Result, so a warm election request runs
+// the same near-alloc-free fast path as a batch trial. The slot pool also
+// bounds concurrency: at most Config.Slots requests execute at once, the
+// rest queue on slot acquisition (and give up when their context ends).
+//
+// Async requests become jobs with a lifecycle (pending → running →
+// done / failed / cancelled), cooperative cancellation (sweeps abort at
+// the next trial boundary through an emitter hook) and TTL-based GC of
+// finished jobs. Shutdown stops admission and drains in-flight jobs.
+//
+// Determinism: a request with a given seed produces byte-identical
+// results to the batch path — elections reduce the same sim.Result the
+// same way, sweeps run the same harness with the same trial expansion —
+// pinned by serve_test.go and by `uled-load -smoke`.
+package serve
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ule/internal/cmdutil"
+	"ule/internal/core"
+	"ule/internal/graph"
+	"ule/internal/harness"
+	"ule/internal/sim"
+)
+
+// Service-wide expvar counters (exposed at /debug/vars). Registered once
+// at package init; multiple Managers in one process (tests) share them.
+var (
+	statJobsInFlight = expvar.NewInt("uled_jobs_inflight")
+	statElections    = expvar.NewInt("uled_elections_total")
+	statSweeps       = expvar.NewInt("uled_sweeps_total")
+	statTrials       = expvar.NewInt("uled_sweep_trials_total")
+	statPrepHits     = expvar.NewInt("uled_prepared_reuse_hits")
+	statPrepMisses   = expvar.NewInt("uled_prepared_reuse_misses")
+	statGraphHits    = expvar.NewInt("uled_graph_reuse_hits")
+	statGraphMisses  = expvar.NewInt("uled_graph_reuse_misses")
+
+	serveStart = time.Now()
+)
+
+func init() {
+	expvar.Publish("uled_goroutines", expvar.Func(func() any {
+		return runtime.NumGoroutine()
+	}))
+	expvar.Publish("uled_uptime_seconds", expvar.Func(func() any {
+		return time.Since(serveStart).Seconds()
+	}))
+	// Cumulative election throughput since process start; per-interval
+	// rates are the scraper's job (delta of uled_elections_total).
+	expvar.Publish("uled_elections_per_sec", expvar.Func(func() any {
+		up := time.Since(serveStart).Seconds()
+		if up <= 0 {
+			return 0.0
+		}
+		return float64(statElections.Value()) / up
+	}))
+}
+
+// Config tunes a Manager. Zero values select the documented defaults.
+type Config struct {
+	// Slots is the number of concurrent worker slots — the service's
+	// admission bound (default GOMAXPROCS).
+	Slots int
+	// SweepWorkers caps the harness worker pool a single sweep request
+	// may use (default 1: within one slot a sweep runs single-worker, and
+	// service concurrency comes from the slot pool; per-trial parallelism
+	// is still available through the spec's shards field).
+	SweepWorkers int
+	// MaxJobs bounds the retained async jobs, finished included (default
+	// 256). Admission fails with ErrBusy when the table is full of
+	// unfinished jobs.
+	MaxJobs int
+	// JobTTL is the retention of finished jobs (default 10m); the GC
+	// goroutine prunes older ones.
+	JobTTL time.Duration
+	// MaxRounds caps a request's max_rounds (default 1 << 20); requests
+	// above it are rejected rather than silently clamped.
+	MaxRounds int
+	// MaxTrials caps a sweep request's expanded trial count (default
+	// 1 << 20).
+	MaxTrials int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = 1
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 1 << 20
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 1 << 20
+	}
+	return c
+}
+
+// RequestError marks a client-side error (invalid spec, unknown
+// algorithm, malformed model string); the HTTP layer maps it to 400.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrShutdown is returned for work submitted after Shutdown began.
+var ErrShutdown = errors.New("serve: shutting down")
+
+// ErrBusy is returned when the job table is full of unfinished jobs.
+var ErrBusy = errors.New("serve: job table full")
+
+// ErrNotFound is returned for an unknown job ID.
+var ErrNotFound = errors.New("serve: no such job")
+
+// slotCacheCap bounds each slot's graph/Prepared caches; when an insert
+// would exceed it the caches are dropped wholesale (a service hammered
+// with distinct specs degrades to the uncached path instead of growing).
+const slotCacheCap = 128
+
+// slot is one worker's private, reusable election machinery. Slots are
+// owned exclusively while a request runs, so no locking.
+type slot struct {
+	graphs map[graphKey]*graph.Graph
+	preps  map[prepKey]*core.Prepared
+	res    sim.Result
+}
+
+type graphKey struct {
+	spec string
+	seed int64
+}
+
+type prepKey struct {
+	graphKey
+	algo string
+}
+
+// graph returns the slot's cached instance of (spec, seed), building and
+// caching it on a miss. Cached instances keep their memoized diameters,
+// so repeated D-dependent elections pay the all-pairs BFS once.
+func (s *slot) graph(spec string, seed int64) (*graph.Graph, error) {
+	key := graphKey{spec, seed}
+	if g, ok := s.graphs[key]; ok {
+		statGraphHits.Add(1)
+		return g, nil
+	}
+	g, err := cmdutil.BuildGraph(spec, seed)
+	if err != nil {
+		return nil, badRequest("graph: %v", err)
+	}
+	statGraphMisses.Add(1)
+	if len(s.graphs) >= slotCacheCap {
+		s.graphs = make(map[graphKey]*graph.Graph)
+		s.preps = make(map[prepKey]*core.Prepared)
+	}
+	s.graphs[key] = g
+	return g, nil
+}
+
+// prepared returns the slot's cached core.Prepared for (graph, algo); a
+// hit reuses the engine arenas and Runner buffers of every earlier
+// request on the same cell (the expvar "arena reuse" signal).
+func (s *slot) prepared(key graphKey, g *graph.Graph, algo string) (*core.Prepared, error) {
+	pk := prepKey{key, algo}
+	if p, ok := s.preps[pk]; ok {
+		statPrepHits.Add(1)
+		return p, nil
+	}
+	p, err := core.Prepare(g, algo)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	statPrepMisses.Add(1)
+	if len(s.preps) >= slotCacheCap {
+		s.preps = make(map[prepKey]*core.Prepared)
+	}
+	s.preps[pk] = p
+	return p, nil
+}
+
+// Manager owns the slot pool and the job table.
+type Manager struct {
+	cfg   Config
+	slots chan *slot
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+
+	wg     sync.WaitGroup // in-flight async jobs
+	stopGC chan struct{}
+	gcDone chan struct{}
+}
+
+// NewManager builds a Manager and starts its GC goroutine; pair with
+// Shutdown.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:    cfg,
+		slots:  make(chan *slot, cfg.Slots),
+		jobs:   make(map[string]*Job),
+		stopGC: make(chan struct{}),
+		gcDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		m.slots <- &slot{
+			graphs: make(map[graphKey]*graph.Graph),
+			preps:  make(map[prepKey]*core.Prepared),
+		}
+	}
+	go m.gcLoop()
+	return m
+}
+
+// Config returns the resolved configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// acquire takes a worker slot, waiting until one frees up or ctx ends.
+func (m *Manager) acquire(ctx context.Context) (*slot, error) {
+	select {
+	case s := <-m.slots:
+		return s, nil
+	default:
+	}
+	select {
+	case s := <-m.slots:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (m *Manager) release(s *slot) { m.slots <- s }
+
+// gcLoop prunes finished jobs past their TTL.
+func (m *Manager) gcLoop() {
+	defer close(m.gcDone)
+	period := m.cfg.JobTTL / 4
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopGC:
+			return
+		case <-t.C:
+			m.gc(time.Now())
+		}
+	}
+}
+
+// gc removes finished jobs older than the TTL, plus — oldest first — any
+// finished jobs beyond MaxJobs.
+func (m *Manager) gc(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var finished []*Job
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		done := j.state.terminal()
+		age := now.Sub(j.Finished)
+		j.mu.Unlock()
+		if !done {
+			continue
+		}
+		if age > m.cfg.JobTTL {
+			delete(m.jobs, id)
+			continue
+		}
+		finished = append(finished, j)
+	}
+	if excess := len(m.jobs) - m.cfg.MaxJobs; excess > 0 {
+		sort.Slice(finished, func(i, k int) bool {
+			return finished[i].Finished.Before(finished[k].Finished)
+		})
+		for i := 0; i < excess && i < len(finished); i++ {
+			delete(m.jobs, finished[i].ID)
+		}
+	}
+}
+
+// Shutdown stops admission, waits for in-flight async jobs to drain, and
+// stops the GC goroutine. If ctx expires first, every unfinished job is
+// cancelled and Shutdown waits for the cancellations to take effect
+// before returning ctx's error. Sync (HTTP-request-scoped) work is the
+// HTTP server's to drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !already {
+		close(m.stopGC)
+	}
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.cancel()
+		}
+		m.mu.Unlock()
+		<-drained
+	}
+	<-m.gcDone
+	return err
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one async request. Mutable fields are guarded by mu; the HTTP
+// layer reads them through Snapshot.
+type Job struct {
+	ID      string
+	Kind    string // "election" | "sweep"
+	Created time.Time
+
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	result   []byte // JSON: ElectionResult or SweepSummary
+	Started  time.Time
+	Finished time.Time
+}
+
+// JobStatus is the wire form of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    JobState `json:"state"`
+	Created  string   `json:"created"`
+	Started  string   `json:"started,omitempty"`
+	Finished string   `json:"finished,omitempty"`
+	// ElapsedMS is the run time of a finished job in milliseconds.
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Snapshot returns the job's current wire status.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Kind: j.Kind, State: j.state, Error: j.err,
+		Created: j.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.Started.IsZero() {
+		st.Started = j.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.Finished.IsZero() {
+		st.Finished = j.Finished.UTC().Format(time.RFC3339Nano)
+		st.ElapsedMS = j.Finished.Sub(j.Started).Milliseconds()
+	}
+	return st
+}
+
+// Result returns the finished job's result document ("" until done).
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobPending {
+		return false
+	}
+	j.state = JobRunning
+	j.Started = time.Now()
+	return true
+}
+
+func (j *Job) finish(result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = result
+	case errors.Is(err, context.Canceled):
+		j.state = JobCancelled
+		j.err = "cancelled"
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+	}
+}
+
+func (j *Job) markCancelled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = JobCancelled
+	j.err = "cancelled"
+	j.Finished = time.Now()
+}
+
+// newJob registers a pending job, enforcing admission limits. cancel is
+// installed under the lock so Shutdown never observes a job without one.
+func (m *Manager) newJob(kind string, cancel context.CancelFunc) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShutdown
+	}
+	unfinished := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			unfinished++
+		}
+		j.mu.Unlock()
+	}
+	if unfinished >= m.cfg.MaxJobs {
+		return nil, ErrBusy
+	}
+	m.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", m.seq),
+		Kind:    kind,
+		Created: time.Now(),
+		state:   JobPending,
+		cancel:  cancel,
+	}
+	m.jobs[j.ID] = j
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs returns a snapshot of every retained job, newest first.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	all := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(all, func(i, k int) bool { return all[i].ID > all[k].ID })
+	out := make([]JobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Cancel cancels a pending/running job (its goroutine observes the
+// context and finishes as cancelled) or deletes a finished one.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	j.mu.Lock()
+	terminal := j.state.terminal()
+	j.mu.Unlock()
+	if terminal {
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return j.Snapshot(), nil
+	}
+	m.mu.Unlock()
+	j.cancel() // the job goroutine transitions the state
+	return j.Snapshot(), nil
+}
+
+// checkOpen rejects new work after Shutdown began.
+func (m *Manager) checkOpen() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrShutdown
+	}
+	return nil
+}
+
+// ---- Elections ----
+
+// ElectionRequest is the wire form of POST /v1/elections.
+type ElectionRequest struct {
+	// Graph is a family spec in the shared grammar ("ring:64",
+	// "random:128:640", ...); GraphSeed seeds randomized families
+	// (default 1 — deliberately NOT the run seed, so sweeping the run
+	// seed under load reuses one cached instance per spec).
+	Graph     string `json:"graph"`
+	GraphSeed int64  `json:"graph_seed,omitempty"`
+	// Algo is an algorithm registry name (election.Algorithms).
+	Algo string `json:"algo"`
+	// Seed drives IDs and coins; equal seeds give byte-identical results.
+	Seed int64 `json:"seed,omitempty"`
+	// Model is the execution-model spec string ("", "local",
+	// "async+random:4+crash:0.2", ... — sim.ParseModel grammar).
+	Model string `json:"model,omitempty"`
+	// Wake is a wake-schedule spec ("", "sync", "random:R", "stagger:K",
+	// "adversarial" — the harness grammar, derived from Seed).
+	Wake string `json:"wake,omitempty"`
+	// SmallIDs assigns permutation IDs 1..n exactly as the harness does
+	// (sim.NodeSeed(Seed, -2) stream); required for "dfs".
+	SmallIDs bool `json:"small_ids,omitempty"`
+	// Anonymous removes identifiers (randomized algorithms only).
+	Anonymous bool `json:"anonymous,omitempty"`
+	// MaxRounds bounds the run (default 1 << 18, capped by Config.MaxRounds).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Shards partitions the engine (0/1 single, -1 auto; results
+	// identical at any count).
+	Shards int `json:"shards,omitempty"`
+	// DiameterEstimate grants D-dependent algorithms the double-sweep
+	// bound instead of the exact diameter.
+	DiameterEstimate bool `json:"diameter_estimate,omitempty"`
+	// Async turns the request into a job (also ?async=1).
+	Async bool `json:"async,omitempty"`
+}
+
+// ElectionResult is the wire form of an election outcome. Field reduction
+// matches the batch harness TrialResult reduction, so a served election
+// and a batch trial with the same seed agree on every field.
+type ElectionResult struct {
+	Graph string `json:"graph"`
+	Algo  string `json:"algo"`
+	Seed  int64  `json:"seed"`
+	Model string `json:"model,omitempty"`
+	Wake  string `json:"wake,omitempty"`
+
+	N          int   `json:"n"`
+	M          int   `json:"m"`
+	D          int   `json:"d,omitempty"`
+	Rounds     int   `json:"rounds"`
+	LastActive int   `json:"last_active"`
+	Messages   int64 `json:"messages"`
+	Bits       int64 `json:"bits"`
+	Leaders    int   `json:"leaders"`
+	// Leader is the elected node's index when the election is unique.
+	Leader      int  `json:"leader,omitempty"`
+	Unique      bool `json:"unique"`
+	Halted      bool `json:"halted"`
+	HitRoundCap bool `json:"hit_round_cap,omitempty"`
+
+	Crashes    int   `json:"crashes,omitempty"`
+	Recoveries int   `json:"recoveries,omitempty"`
+	Dropped    int64 `json:"dropped,omitempty"`
+	LiveUnique bool  `json:"live_unique,omitempty"`
+}
+
+// runElection validates and executes one election on a slot.
+func (m *Manager) runElection(req ElectionRequest, s *slot) (*ElectionResult, error) {
+	if req.Graph == "" {
+		return nil, badRequest("missing field: graph")
+	}
+	if req.Algo == "" {
+		return nil, badRequest("missing field: algo")
+	}
+	if req.MaxRounds > m.cfg.MaxRounds {
+		return nil, badRequest("max_rounds %d above the server cap %d", req.MaxRounds, m.cfg.MaxRounds)
+	}
+	model, err := sim.ParseModel(req.Model)
+	if err != nil {
+		return nil, badRequest("model: %v", err)
+	}
+	gseed := req.GraphSeed
+	if gseed == 0 {
+		gseed = 1
+	}
+	g, err := s.graph(req.Graph, gseed)
+	if err != nil {
+		return nil, err
+	}
+	wake, err := harness.WakeSchedule(req.Wake, g.N(), req.Seed)
+	if err != nil {
+		return nil, badRequest("wake: %v", err)
+	}
+	key := graphKey{req.Graph, gseed}
+	prep, err := s.prepared(key, g, req.Algo)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := req.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 18
+	}
+	var ids []int64
+	if req.SmallIDs {
+		ids = sim.PermutationIDs(g.N(), rand.New(rand.NewSource(sim.NodeSeed(req.Seed, -2))))
+	}
+	ro := core.RunOpts{
+		Seed:      req.Seed,
+		IDs:       ids,
+		Anonymous: req.Anonymous,
+		MaxRounds: maxRounds,
+		Model:     model,
+		Wake:      wake,
+		Shards:    req.Shards,
+	}
+	out := &ElectionResult{
+		Graph: req.Graph, Algo: req.Algo, Seed: req.Seed,
+		Model: req.Model, Wake: req.Wake,
+		N: g.N(), M: g.M(),
+	}
+	if prep.Spec().NeedsD {
+		if req.DiameterEstimate {
+			ro.D = g.DiameterEstimate()
+		} else {
+			ro.D = g.DiameterExact()
+		}
+		out.D = ro.D
+	}
+	if err := prep.RunInto(ro, &s.res); err != nil {
+		// Anonymous-vs-IDs and engine misconfigurations are request
+		// errors; model violations during the run are server-side.
+		return nil, badRequest("%v", err)
+	}
+	res := &s.res
+	out.Rounds = res.Rounds
+	out.LastActive = res.LastActive
+	out.Messages = res.Messages
+	out.Bits = res.Bits
+	out.Leaders = res.LeaderCount()
+	out.Unique = res.UniqueLeader()
+	if out.Unique {
+		out.Leader = res.Leaders[0]
+	}
+	out.Halted = res.Halted
+	out.HitRoundCap = res.HitRoundCap
+	if model.Faults != nil {
+		out.Crashes = res.Crashes
+		out.Recoveries = res.Recoveries
+		out.Dropped = res.Dropped
+		out.LiveUnique = core.Correct(model, res)
+	}
+	statElections.Add(1)
+	return out, nil
+}
+
+// RunElection executes one election request synchronously on a pooled
+// slot. It is the sync HTTP path and the verification entry point of
+// uled-load and the tests.
+func (m *Manager) RunElection(ctx context.Context, req ElectionRequest) (*ElectionResult, error) {
+	if err := m.checkOpen(); err != nil {
+		return nil, err
+	}
+	s, err := m.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release(s)
+	statJobsInFlight.Add(1)
+	defer statJobsInFlight.Add(-1)
+	return m.runElection(req, s)
+}
+
+// ---- Sweeps ----
+
+// SweepRequest is the wire form of POST /v1/sweeps: a ule-sweep/v3 spec
+// (docs/SWEEP_SCHEMA.md) plus service fields. The same JSON file used
+// with `ule-experiments -sweep` is a valid request body.
+type SweepRequest struct {
+	harness.Spec
+	// Workers asks for a harness worker pool of this size, clamped to
+	// [1, Config.SweepWorkers]. Results are byte-identical at any value.
+	Workers int `json:"workers,omitempty"`
+	// Async turns the request into a job (also ?async=1); the stored
+	// result is the SweepSummary (trial records are not retained).
+	Async bool `json:"async,omitempty"`
+}
+
+// SweepSummary is the stored result of an async sweep job: the report
+// without the trial stream.
+type SweepSummary struct {
+	Spec        harness.Spec         `json:"spec"`
+	TotalTrials int                  `json:"total_trials"`
+	Errors      int                  `json:"errors"`
+	Groups      []harness.GroupStats `json:"groups"`
+}
+
+// validateSweep pre-flights a sweep request: spec compiles, trial count
+// within bounds. Returns the expanded trial count.
+func (m *Manager) validateSweep(req *SweepRequest) (int, error) {
+	if req.MaxRounds > m.cfg.MaxRounds {
+		return 0, badRequest("max_rounds %d above the server cap %d", req.MaxRounds, m.cfg.MaxRounds)
+	}
+	total, err := req.Spec.Validate()
+	if err != nil {
+		return 0, badRequest("spec: %v", err)
+	}
+	if total > m.cfg.MaxTrials {
+		return 0, badRequest("spec expands to %d trials, above the server cap %d", total, m.cfg.MaxTrials)
+	}
+	return total, nil
+}
+
+// sweepWorkers resolves a request's worker ask against the config cap.
+func (m *Manager) sweepWorkers(ask int) int {
+	w := ask
+	if w <= 0 {
+		w = 1
+	}
+	if w > m.cfg.SweepWorkers {
+		w = m.cfg.SweepWorkers
+	}
+	return w
+}
+
+// cancelEmitter aborts a sweep at the next trial boundary once ctx ends;
+// harness.Run returns the context error. It must precede the output
+// emitters in the chain so a cancelled sweep stops emitting immediately.
+type cancelEmitter struct{ ctx context.Context }
+
+func (e cancelEmitter) Begin(harness.Spec, int) error { return e.ctx.Err() }
+func (e cancelEmitter) Trial(harness.TrialResult) error {
+	return e.ctx.Err()
+}
+func (e cancelEmitter) End(*harness.Report) error { return e.ctx.Err() }
+
+// countEmitter feeds the service trial counter.
+type countEmitter struct{}
+
+func (countEmitter) Begin(harness.Spec, int) error { return nil }
+func (countEmitter) Trial(harness.TrialResult) error {
+	statTrials.Add(1)
+	statElections.Add(1) // every trial is one served election
+	return nil
+}
+func (countEmitter) End(*harness.Report) error { return nil }
+
+// RunSweep executes a sweep request synchronously, streaming through the
+// given emitters (typically the NDJSON emitter over the HTTP response).
+// The request must have been validated with validateSweep; cancellation
+// arrives through ctx at trial granularity.
+func (m *Manager) RunSweep(ctx context.Context, req SweepRequest, emitters ...harness.Emitter) (*harness.Report, error) {
+	if err := m.checkOpen(); err != nil {
+		return nil, err
+	}
+	if _, err := m.validateSweep(&req); err != nil {
+		return nil, err
+	}
+	s, err := m.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release(s)
+	statJobsInFlight.Add(1)
+	defer statJobsInFlight.Add(-1)
+	rc := harness.RunConfig{
+		Workers:  m.sweepWorkers(req.Workers),
+		Emitters: append([]harness.Emitter{cancelEmitter{ctx}, countEmitter{}}, emitters...),
+	}
+	rep, err := m.runSweepInner(req.Spec, rc)
+	if err != nil {
+		return nil, err
+	}
+	statSweeps.Add(1)
+	return rep, nil
+}
+
+func (m *Manager) runSweepInner(spec harness.Spec, rc harness.RunConfig) (*harness.Report, error) {
+	return harness.Run(spec, rc)
+}
+
+// ---- Async jobs ----
+
+// SubmitElection registers and starts an async election job.
+func (m *Manager) SubmitElection(req ElectionRequest) (*Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := m.newJob("election", cancel)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		statJobsInFlight.Add(1)
+		defer statJobsInFlight.Add(-1)
+		s, err := m.acquire(ctx)
+		if err != nil {
+			j.markCancelled()
+			return
+		}
+		defer m.release(s)
+		if !j.setRunning() {
+			return
+		}
+		res, err := m.runElection(req, s)
+		if err != nil {
+			j.finish(nil, err)
+			return
+		}
+		if ctx.Err() != nil {
+			j.markCancelled()
+			return
+		}
+		j.finish(marshalJSON(res), nil)
+	}()
+	return j, nil
+}
+
+// SubmitSweep validates, registers and starts an async sweep job. The
+// job result is the SweepSummary; trial records are not retained.
+func (m *Manager) SubmitSweep(req SweepRequest) (*Job, error) {
+	if _, err := m.validateSweep(&req); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := m.newJob("sweep", cancel)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		statJobsInFlight.Add(1)
+		defer statJobsInFlight.Add(-1)
+		s, err := m.acquire(ctx)
+		if err != nil {
+			j.markCancelled()
+			return
+		}
+		defer m.release(s)
+		if !j.setRunning() {
+			return
+		}
+		rc := harness.RunConfig{
+			Workers:  m.sweepWorkers(req.Workers),
+			Emitters: []harness.Emitter{cancelEmitter{ctx}, countEmitter{}},
+		}
+		rep, err := m.runSweepInner(req.Spec, rc)
+		if err != nil {
+			j.finish(nil, err)
+			return
+		}
+		statSweeps.Add(1)
+		j.finish(marshalJSON(SweepSummary{
+			Spec: rep.Spec, TotalTrials: rep.Total, Errors: rep.Errors, Groups: rep.Groups,
+		}), nil)
+	}()
+	return j, nil
+}

@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ule/internal/harness"
+)
+
+// newTestServer boots a handler over a fresh Manager and tears both down
+// with the test.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(cfg)
+	ts := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return ts, m
+}
+
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// captureEmitter records the trial stream of a local harness run.
+type captureEmitter struct{ trials []harness.TrialResult }
+
+func (c *captureEmitter) Begin(harness.Spec, int) error { return nil }
+func (c *captureEmitter) Trial(tr harness.TrialResult) error {
+	c.trials = append(c.trials, tr)
+	return nil
+}
+func (c *captureEmitter) End(*harness.Report) error { return nil }
+
+// smallSpec is the sweep used throughout: 2 algos x 1 graph x 2 reps.
+func smallSpec() harness.Spec {
+	return harness.Spec{
+		Name:     "serve-test",
+		Algos:    []string{"leastel", "flood"},
+		Graphs:   []string{"ring:32"},
+		Trials:   2,
+		Seed:     7,
+		SmallIDs: true,
+	}
+}
+
+// TestElectionMatchesBatchTrial pins the served election reduction to the
+// batch harness: the same (graph, algo, seed, wake) run through
+// POST /v1/elections and through harness.Run agree on every measurement.
+func TestElectionMatchesBatchTrial(t *testing.T) {
+	spec := harness.Spec{
+		Algos:    []string{"leastel"},
+		Graphs:   []string{"ring:24"},
+		Trials:   1,
+		Seed:     5,
+		SmallIDs: true,
+	}
+	cap := &captureEmitter{}
+	if _, err := harness.Run(spec, harness.RunConfig{Workers: 1, Emitters: []harness.Emitter{cap}}); err != nil {
+		t.Fatalf("harness.Run: %v", err)
+	}
+	if len(cap.trials) != 1 {
+		t.Fatalf("got %d trials, want 1", len(cap.trials))
+	}
+	tr := cap.trials[0]
+
+	ts, _ := newTestServer(t, Config{Slots: 1})
+	body := fmt.Sprintf(`{"graph":"ring:24","algo":"leastel","seed":%d,"model":%q,"wake":%q,"small_ids":true}`,
+		tr.Seed, tr.Mode, tr.Wake)
+	code, data := postJSON(t, ts.URL+"/v1/elections", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var res ElectionResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("bad result JSON: %v", err)
+	}
+	if res.N != tr.N || res.M != tr.M || res.D != tr.D ||
+		res.Rounds != tr.Rounds || res.LastActive != tr.LastActive ||
+		res.Messages != tr.Messages || res.Bits != tr.Bits ||
+		res.Leaders != tr.Leaders || res.Unique != tr.Unique ||
+		res.Halted != tr.Halted {
+		t.Fatalf("served election diverges from the batch trial:\n  served %+v\n  batch  %+v", res, tr)
+	}
+}
+
+// TestElectionDeterminism: the same request is byte-identical across
+// repeats and across independent server instances (so slot-cache state
+// never leaks into results).
+func TestElectionDeterminism(t *testing.T) {
+	body := `{"graph":"random:48:144","algo":"flood","seed":42,"model":"async+random:4","small_ids":true}`
+	ts1, _ := newTestServer(t, Config{Slots: 2})
+	ts2, _ := newTestServer(t, Config{Slots: 2})
+
+	_, first := postJSON(t, ts1.URL+"/v1/elections", body)
+	_, again := postJSON(t, ts1.URL+"/v1/elections", body)
+	_, other := postJSON(t, ts2.URL+"/v1/elections", body)
+	if !bytes.Equal(first, again) {
+		t.Fatalf("same server, same request, different bytes:\n  %s\n  %s", first, again)
+	}
+	if !bytes.Equal(first, other) {
+		t.Fatalf("fresh server diverges on the same request:\n  %s\n  %s", first, other)
+	}
+}
+
+// TestBadRequests: every malformed request maps to the right status and
+// the body names the offending token.
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Slots: 1})
+	cases := []struct {
+		name  string
+		path  string
+		body  string
+		code  int
+		token string
+	}{
+		{"malformed JSON", "/v1/elections", `{"graph":`, 400, "body"},
+		{"unknown field", "/v1/elections", `{"graph":"ring:8","algo":"leastel","bogus":1}`, 400, "bogus"},
+		{"missing graph", "/v1/elections", `{"algo":"leastel"}`, 400, "graph"},
+		{"missing algo", "/v1/elections", `{"graph":"ring:8"}`, 400, "algo"},
+		{"bad graph family", "/v1/elections", `{"graph":"blob:9","algo":"leastel"}`, 400, "blob"},
+		{"bad algo", "/v1/elections", `{"graph":"ring:8","algo":"zeus"}`, 400, "zeus"},
+		{"bad model", "/v1/elections", `{"graph":"ring:8","algo":"leastel","model":"warp"}`, 400, "warp"},
+		{"bad wake", "/v1/elections", `{"graph":"ring:8","algo":"leastel","wake":"sometimes"}`, 400, "sometimes"},
+		{"rounds above cap", "/v1/elections", `{"graph":"ring:8","algo":"leastel","max_rounds":4194304}`, 400, "max_rounds"},
+		{"sweep bad algo", "/v1/sweeps", `{"algos":["zeus"],"graphs":["ring:8"]}`, 400, "zeus"},
+		{"sweep bad graph", "/v1/sweeps", `{"algos":["leastel"],"graphs":["blob:9"]}`, 400, "blob"},
+		{"sweep unknown field", "/v1/sweeps", `{"algos":["leastel"],"graphs":["ring:8"],"bogus":1}`, 400, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, data := postJSON(t, ts.URL+tc.path, tc.body)
+			if code != tc.code {
+				t.Fatalf("status %d, want %d (%s)", code, tc.code, data)
+			}
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body is not the JSON envelope: %s", data)
+			}
+			if !strings.Contains(eb.Error, tc.token) {
+				t.Fatalf("error %q does not name the offending token %q", eb.Error, tc.token)
+			}
+		})
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/j999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job GET: status %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job DELETE: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSweepStreamByteIdentical pins the served NDJSON stream to the batch
+// path: POST /v1/sweeps returns exactly the bytes a local harness.Run
+// with the NDJSON emitter produces, at any worker count.
+func TestSweepStreamByteIdentical(t *testing.T) {
+	spec := smallSpec()
+	var want bytes.Buffer
+	if _, err := harness.Run(spec, harness.RunConfig{
+		Workers:  1,
+		Emitters: []harness.Emitter{harness.NewNDJSONEmitter(&want)},
+	}); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	ts, _ := newTestServer(t, Config{Slots: 2, SweepWorkers: 4})
+	specJSON, _ := json.Marshal(spec)
+
+	for _, workers := range []int{0, 4} {
+		body := specJSON
+		if workers > 0 {
+			body = []byte(fmt.Sprintf(`{"algos":["leastel","flood"],"graphs":["ring:32"],"trials":2,"seed":7,"small_ids":true,"name":"serve-test","workers":%d}`, workers))
+		}
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, resp.StatusCode, got)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("workers=%d: served NDJSON differs from the batch path (%d vs %d bytes)\nserved: %.200s\nbatch:  %.200s",
+				workers, len(got), want.Len(), got, want.Bytes())
+		}
+	}
+}
+
+// TestAsyncJobLifecycle drives a job end to end over HTTP: 202 on submit,
+// pending/running to done, result document attached, delete removes it.
+func TestAsyncJobLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Slots: 1})
+	specJSON, _ := json.Marshal(smallSpec())
+
+	code, data := postJSON(t, ts.URL+"/v1/sweeps?async=1", string(specJSON))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, data)
+	}
+	var job struct {
+		ID     string          `json:"id"`
+		Kind   string          `json:"kind"`
+		State  JobState        `json:"state"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatalf("bad 202 body: %v", err)
+	}
+	if job.Kind != "sweep" || job.ID == "" {
+		t.Fatalf("bad job snapshot: %s", data)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for job.State != JobDone {
+		if job.State.terminal() {
+			t.Fatalf("job ended %s: %s", job.State, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &job)
+	}
+	var summary SweepSummary
+	if err := json.Unmarshal(job.Result, &summary); err != nil {
+		t.Fatalf("job result is not a SweepSummary: %v (%s)", err, job.Result)
+	}
+	if summary.TotalTrials != 4 || len(summary.Groups) != 2 {
+		t.Fatalf("summary = %d trials / %d groups, want 4 / 2", summary.TotalTrials, len(summary.Groups))
+	}
+
+	var table struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &table)
+	if len(table.Jobs) != 1 || table.Jobs[0].ID != job.ID {
+		t.Fatalf("job table = %+v, want the one finished job", table.Jobs)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+job.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted job still visible: status %d", code)
+	}
+}
+
+// TestCancelMidSweep cancels a long sweep over HTTP and checks the job
+// lands in cancelled without leaking its goroutines.
+func TestCancelMidSweep(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ts, _ := newTestServer(t, Config{Slots: 1})
+
+	big := harness.Spec{
+		Algos:    []string{"flood"},
+		Graphs:   []string{"ring:256"},
+		Trials:   5000,
+		Seed:     3,
+		SmallIDs: true,
+	}
+	specJSON, _ := json.Marshal(big)
+	code, data := postJSON(t, ts.URL+"/v1/sweeps?async=1", string(specJSON))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, data)
+	}
+	var job struct {
+		ID    string   `json:"id"`
+		State JobState `json:"state"`
+	}
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &job)
+		if job.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s after cancel", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.State != JobCancelled {
+		t.Fatalf("job state %s, want cancelled", job.State)
+	}
+
+	// The worker goroutine and the harness pool behind it must unwind.
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	flatBy := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= base+4 {
+			break
+		}
+		if time.Now().After(flatBy) {
+			t.Fatalf("goroutines leaked: %d at start, %d after cancel", base, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestShutdownDrains: Shutdown waits for in-flight async jobs, then new
+// work and health checks are refused.
+func TestShutdownDrains(t *testing.T) {
+	m := NewManager(Config{Slots: 1})
+	ts := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	defer ts.Close()
+
+	j, err := m.SubmitSweep(SweepRequest{Spec: smallSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := j.Snapshot(); st.State != JobDone {
+		t.Fatalf("in-flight job ended %s (%s), want done", st.State, st.Error)
+	}
+
+	if _, err := m.RunElection(context.Background(), ElectionRequest{Graph: "ring:8", Algo: "leastel"}); err != ErrShutdown {
+		t.Fatalf("post-shutdown RunElection err = %v, want ErrShutdown", err)
+	}
+	if _, err := m.SubmitElection(ElectionRequest{Graph: "ring:8", Algo: "leastel"}); err != ErrShutdown {
+		t.Fatalf("post-shutdown SubmitElection err = %v, want ErrShutdown", err)
+	}
+	code, data := postJSON(t, ts.URL+"/v1/elections", `{"graph":"ring:8","algo":"leastel"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown election status %d: %s", code, data)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("post-shutdown healthz = %d %q, want 503 draining", code, health.Status)
+	}
+}
+
+// TestJobGC: finished jobs expire after the TTL and the table never holds
+// more than MaxJobs finished entries.
+func TestJobGC(t *testing.T) {
+	m := NewManager(Config{Slots: 1, MaxJobs: 2, JobTTL: 50 * time.Millisecond})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		j, err := m.SubmitElection(ElectionRequest{Graph: "ring:8", Algo: "leastel", Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := 0
+		for _, id := range ids {
+			if j, err := m.Job(id); err == nil {
+				if st := j.Snapshot(); st.State == JobDone {
+					done++
+				}
+			}
+		}
+		if done == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// TTL expiry: the GC loop (50ms period here) removes them.
+	expireBy := time.Now().Add(10 * time.Second)
+	for {
+		m.mu.Lock()
+		left := len(m.jobs)
+		m.mu.Unlock()
+		if left == 0 {
+			break
+		}
+		if time.Now().After(expireBy) {
+			t.Fatalf("%d finished jobs survived the TTL", left)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestExpvarEndpoint: /debug/vars serves the uled_* series.
+func TestExpvarEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Slots: 1})
+	postJSON(t, ts.URL+"/v1/elections", `{"graph":"ring:8","algo":"leastel","seed":9}`)
+
+	var vars struct {
+		Elections  int64 `json:"uled_elections_total"`
+		Goroutines int   `json:"uled_goroutines"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/vars", &vars); code != http.StatusOK {
+		t.Fatalf("debug/vars status %d", code)
+	}
+	if vars.Elections < 1 || vars.Goroutines < 1 {
+		t.Fatalf("counters not live: %+v", vars)
+	}
+}
+
+// TestArenaReuse: repeated requests for the same (graph, algo) hit the
+// slot caches instead of rebuilding state.
+func TestArenaReuse(t *testing.T) {
+	m := NewManager(Config{Slots: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	req := ElectionRequest{Graph: "ring:64", Algo: "leastel", SmallIDs: true}
+	h0, m0 := statPrepHits.Value(), statPrepMisses.Value()
+	for seed := int64(1); seed <= 8; seed++ {
+		req.Seed = seed
+		if _, err := m.RunElection(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := statPrepHits.Value()-h0, statPrepMisses.Value()-m0
+	if misses != 1 || hits != 7 {
+		t.Fatalf("prepared cache: %d hits / %d misses over 8 identical requests, want 7 / 1", hits, misses)
+	}
+}
