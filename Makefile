@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-shuffle test-race test-sweep race race-matrix bench bench-smoke bench-graph bench-faults bench-shard bench-sweep sweep-smoke serve-smoke bench-serve fmt fmt-check vet docs-check ci
+.PHONY: build test test-shuffle test-race test-sweep race race-matrix bench bench-smoke bench-graph bench-faults bench-shard bench-sweep sweep-smoke serve-smoke bench-serve fleet-chaos bench-fleet fmt fmt-check vet docs-check ci
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,12 @@ race:
 	$(GO) test -race ./...
 
 # Focused -race pass over the engine and algorithm layers the fault
-# subsystem touches; much faster than the full `race` target and wired
-# into CI as its own job so engine-level data races surface on their own.
+# subsystem touches, plus the fleet coordinator (heartbeat watchdog,
+# retry scheduler and result counters all run concurrently); much
+# faster than the full `race` target and wired into CI as its own job
+# so engine-level data races surface on their own.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/fleet/...
 
 # The sharded determinism matrix under the race detector: every
 # algorithm × model × fault schedule at shard counts 1/2/4/8, plus the
@@ -120,6 +122,20 @@ bench-serve:
 	$(GO) run ./cmd/uled-load -spawn bin/uled -levels 4,16,64 -duration 3s -out BENCH_SERVE.json
 	@cat BENCH_SERVE.json
 
+# Distributed-sweep chaos gate (docs/DISTRIBUTED.md): run the gate sweep
+# through exec'd worker processes at 1, 2 and 4 workers with two
+# scheduled worker kills each, and fail unless every merged binary is
+# byte-identical to a single-process run. Wired into CI.
+fleet-chaos:
+	$(GO) run ./cmd/ule-fleet -gate
+
+# The distributed-sweep measurement set (docs/DISTRIBUTED.md): the
+# none/kill/stall/corrupt/mixed fault matrix at 1/2/4 workers, byte
+# identity asserted per cell. Used to regenerate BENCH_FLEET.json.
+bench-fleet:
+	$(GO) run ./cmd/ule-fleet -bench-out BENCH_FLEET.json
+	@cat BENCH_FLEET.json
+
 fmt:
 	gofmt -w .
 
@@ -141,4 +157,4 @@ docs-check: fmt-check vet
 	$(GO) test -run Example ./...
 
 # Everything the CI pipeline runs, in the same order.
-ci: fmt-check vet build test-shuffle race race-matrix test-sweep bench-smoke sweep-smoke serve-smoke docs-check
+ci: fmt-check vet build test-shuffle race race-matrix test-sweep bench-smoke sweep-smoke serve-smoke fleet-chaos docs-check

@@ -1,0 +1,341 @@
+// Command ule-fleet runs a sweep across a fleet of worker processes and
+// merges their shards into one ule-sweepbin document that is
+// byte-identical to a single-process run — surviving worker crashes,
+// hangs and shard corruption along the way (internal/fleet; protocol in
+// docs/DISTRIBUTED.md).
+//
+// Usage:
+//
+//	ule-fleet -spec sweep.json -out sweep.ulsb -workers 4
+//	ule-fleet -spec sweep.json -out sweep.ulsb -chaos kill:0.3,stall:0.2 -chaos-seed 7
+//	ule-fleet -gate                  # CI chaos smoke (make fleet-chaos)
+//	ule-fleet -bench-out BENCH_FLEET.json
+//	ule-fleet -worker …              # internal: one shard attempt (exec'd)
+//
+// On quarantined units the merged file is withheld and the exit status is
+// nonzero; -report writes the machine-readable outcome (retries, fault
+// counters, and the exact missing trial ranges) either way.
+//
+// -gate runs a small sweep at 1, 2 and 4 workers with two scheduled
+// worker kills each and fails unless every merged document is
+// byte-identical to the in-process reference. -bench-out additionally
+// sweeps the fault matrix (none/kill/stall/corrupt/mixed) and writes the
+// measurement document behind BENCH_FLEET.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ule/internal/fleet"
+	"ule/internal/harness"
+)
+
+func main() {
+	// The worker mode must not see the coordinator flag set: dispatch on
+	// the first argument before any parsing.
+	if len(os.Args) > 1 && os.Args[1] == "-worker" {
+		os.Exit(fleet.RunWorker(os.Args[2:]))
+	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ule-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ule-fleet", flag.ExitOnError)
+	var (
+		specPath  = fs.String("spec", "", "sweep spec JSON file")
+		out       = fs.String("out", "", "merged ule-sweepbin output path")
+		jsonOut   = fs.String("json", "", "also export merged sweep JSON to this path")
+		report    = fs.String("report", "", "write the machine-readable run result (JSON) to this path")
+		workers   = fs.Int("workers", 2, "concurrent worker processes")
+		unit      = fs.Int("unit-trials", 0, "trials per work unit (0 = auto)")
+		ckEvery   = fs.Int("checkpoint-every", 0, "shard checkpoint cadence (0 = default)")
+		heartbeat = fs.Duration("heartbeat", 10*time.Second, "heartbeat deadline before a lease is revoked")
+		maxAtt    = fs.Int("max-attempts", 4, "attempts before a unit is quarantined")
+		dir       = fs.String("dir", "", "shard directory (default: temp dir)")
+		chaos     = fs.String("chaos", "", "fault injection, e.g. kill:0.3,stall:0.2,corrupt:0.1")
+		chaosSeed = fs.Uint64("chaos-seed", 1, "chaos schedule seed")
+		chaosMax  = fs.Int("chaos-max", 0, "cap on injected faults (0 = none)")
+		gate      = fs.Bool("gate", false, "run the CI chaos gate and exit")
+		benchOut  = fs.String("bench-out", "", "run the fault×workers bench matrix, write JSON here")
+		verbose   = fs.Bool("v", false, "log coordinator progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *gate || *benchOut != "" {
+		return gateAndBench(*specPath, *benchOut, *verbose)
+	}
+
+	if *specPath == "" || *out == "" {
+		return fmt.Errorf("need -spec and -out (or -gate / -bench-out)")
+	}
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	plan, err := parseChaos(*chaos, *chaosSeed, *chaosMax)
+	if err != nil {
+		return err
+	}
+	cfg := fleet.Config{
+		Spec:             spec,
+		Workers:          *workers,
+		UnitTrials:       *unit,
+		CheckpointEvery:  *ckEvery,
+		HeartbeatTimeout: *heartbeat,
+		MaxAttempts:      *maxAtt,
+		Dir:              *dir,
+		Out:              *out,
+		JSONOut:          *jsonOut,
+		Chaos:            plan,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	res, runErr := fleet.Run(cfg)
+	if res != nil {
+		if *report != "" {
+			if err := writeJSONFile(*report, res); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("fleet: %d trials in %d units, %d workers: retries=%d reassignments=%d kills=%d stalls=%d corruptions=%d (%d ms)\n",
+			res.Total, res.Units, res.Workers, res.Retries, res.Reassignments,
+			res.Kills, res.Stalls, res.Corruptions, res.ElapsedMS)
+		if len(res.Incomplete) > 0 {
+			mr, _ := json.Marshal(res.Incomplete)
+			fmt.Printf("fleet: INCOMPLETE, missing ranges: %s\n", mr)
+		}
+	}
+	return runErr
+}
+
+func loadSpec(path string) (harness.Spec, error) {
+	var spec harness.Spec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// parseChaos parses "kill:P,stall:P,corrupt:P" into a ChaosPlan.
+func parseChaos(s string, seed uint64, max int) (*fleet.ChaosPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	plan := &fleet.ChaosPlan{Seed: seed, MaxActions: max}
+	for _, part := range strings.Split(s, ",") {
+		kind, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("chaos %q: want kind:prob", part)
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("chaos %q: bad probability %q", part, val)
+		}
+		switch kind {
+		case "kill":
+			plan.Kill = p
+		case "stall":
+			plan.Stall = p
+		case "corrupt":
+			plan.Corrupt = p
+		default:
+			return nil, fmt.Errorf("chaos %q: unknown fault kind (kill|stall|corrupt)", part)
+		}
+	}
+	if plan.Kill+plan.Stall+plan.Corrupt > 1 {
+		return nil, fmt.Errorf("chaos probabilities sum to more than 1")
+	}
+	return plan, nil
+}
+
+// gateSpec is the chaos-gate sweep: 96 trials across algorithms, graph
+// families, execution models and fault schedules — big enough that every
+// worker holds several units, small enough for CI.
+func gateSpec() harness.Spec {
+	return harness.Spec{
+		Name:     "fleet-gate",
+		Algos:    []string{"leastel", "flood"},
+		Graphs:   []string{"ring:16", "random:24:60"},
+		Modes:    []string{"congest", "async"},
+		Faults:   []string{"", "crash:0.2"},
+		Trials:   6,
+		Seed:     5,
+		SmallIDs: true,
+	}
+}
+
+// benchScenario is one row of the chaos matrix.
+type benchScenario struct {
+	Name string
+	Plan *fleet.ChaosPlan
+}
+
+func benchScenarios() []benchScenario {
+	return []benchScenario{
+		{"none", nil},
+		{"kill", &fleet.ChaosPlan{Seed: 42, Kill: 1, MaxActions: 2}},
+		{"stall", &fleet.ChaosPlan{Seed: 7, Stall: 1, MaxActions: 1}},
+		{"corrupt", &fleet.ChaosPlan{Seed: 3, Corrupt: 1, MaxActions: 1}},
+		{"mixed", &fleet.ChaosPlan{Seed: 11, Kill: 0.4, Stall: 0.3, Corrupt: 0.3, MaxActions: 4}},
+	}
+}
+
+// benchCell is one measured (scenario, workers) run.
+type benchCell struct {
+	Scenario      string `json:"scenario"`
+	Workers       int    `json:"workers"`
+	Units         int    `json:"units"`
+	WallMS        int64  `json:"wall_ms"`
+	Retries       int    `json:"retries"`
+	Reassignments int    `json:"reassignments"`
+	Kills         int    `json:"kills"`
+	Stalls        int    `json:"stalls"`
+	Corruptions   int    `json:"corruptions"`
+	ByteIdentical bool   `json:"byte_identical"`
+}
+
+// gateAndBench runs the chaos gate (kill chaos at 1, 2 and 4 workers,
+// byte-identity required) and, when benchPath is set, the full
+// fault×workers matrix, writing the measurement document.
+func gateAndBench(specPath, benchPath string, verbose bool) error {
+	spec := gateSpec()
+	if specPath != "" {
+		s, err := loadSpec(specPath)
+		if err != nil {
+			return err
+		}
+		spec = s
+	}
+	const cadence = 4
+
+	// The single-process reference both modes compare against.
+	var refBuf bytes.Buffer
+	opt := harness.BinaryOptions{CheckpointEvery: cadence}
+	if _, err := harness.Run(spec, harness.RunConfig{
+		Emitters: []harness.Emitter{harness.NewBinaryEmitter(&refBuf, opt)},
+	}); err != nil {
+		return err
+	}
+	ref := refBuf.Bytes()
+
+	scenarios := benchScenarios()
+	if benchPath == "" {
+		scenarios = scenarios[1:2] // gate mode: the kill scenario only
+	}
+
+	var cells []benchCell
+	for _, sc := range scenarios {
+		for _, workers := range []int{1, 2, 4} {
+			cell, err := runCell(spec, sc, workers, cadence, ref, verbose)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("fleet %-8s workers=%d: %4d ms, retries=%d reassignments=%d kills=%d stalls=%d corruptions=%d byte_identical=%v\n",
+				sc.Name, workers, cell.WallMS, cell.Retries, cell.Reassignments,
+				cell.Kills, cell.Stalls, cell.Corruptions, cell.ByteIdentical)
+			if !cell.ByteIdentical {
+				return fmt.Errorf("scenario %s at %d workers: merged output NOT byte-identical to single-process run", sc.Name, workers)
+			}
+			cells = append(cells, cell)
+		}
+	}
+
+	if benchPath != "" {
+		doc := struct {
+			Bench  string      `json:"bench"`
+			Spec   string      `json:"spec"`
+			Trials int         `json:"trials"`
+			Method string      `json:"method"`
+			Cells  []benchCell `json:"cells"`
+		}{
+			Bench:  "ule-fleet",
+			Spec:   spec.Name,
+			Trials: mustTotal(spec),
+			Method: "each cell runs the gate sweep through exec'd workers under the named fault plan and compares the merged binary byte-for-byte against one in-process run; wall_ms includes worker exec, retry backoff and the merge",
+			Cells:  cells,
+		}
+		if err := writeJSONFile(benchPath, doc); err != nil {
+			return err
+		}
+		fmt.Printf("fleet: wrote %d cells to %s\n", len(cells), benchPath)
+	}
+	fmt.Println("fleet: chaos gate OK (byte-identical at every worker count and fault plan)")
+	return nil
+}
+
+func runCell(spec harness.Spec, sc benchScenario, workers, cadence int, ref []byte, verbose bool) (benchCell, error) {
+	dir, err := os.MkdirTemp("", "ule-fleet-gate-*")
+	if err != nil {
+		return benchCell{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := fleet.Config{
+		Spec:             spec,
+		Workers:          workers,
+		UnitTrials:       8,
+		CheckpointEvery:  cadence,
+		HeartbeatTimeout: 5 * time.Second,
+		Dir:              dir,
+		Out:              filepath.Join(dir, "merged.ulsb"),
+		Chaos:            sc.Plan,
+	}
+	if verbose {
+		cfg.Log = os.Stderr
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return benchCell{}, fmt.Errorf("scenario %s workers=%d: %w", sc.Name, workers, err)
+	}
+	got, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		return benchCell{}, err
+	}
+	return benchCell{
+		Scenario:      sc.Name,
+		Workers:       workers,
+		Units:         res.Units,
+		WallMS:        res.ElapsedMS,
+		Retries:       res.Retries,
+		Reassignments: res.Reassignments,
+		Kills:         res.Kills,
+		Stalls:        res.Stalls,
+		Corruptions:   res.Corruptions,
+		ByteIdentical: bytes.Equal(got, ref),
+	}, nil
+}
+
+func mustTotal(spec harness.Spec) int {
+	n, err := spec.Validate()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

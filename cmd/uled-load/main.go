@@ -174,7 +174,8 @@ func spawnServer(bin string, extra []string) (*spawned, error) {
 		return nil, fmt.Errorf("spawn %s: %w", bin, err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for {
+	bo := cmdutil.Backoff{Base: 5 * time.Millisecond, Cap: 100 * time.Millisecond}
+	for attempt := 0; ; attempt++ {
 		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
 			return &spawned{cmd: cmd, addr: string(data)}, nil
 		}
@@ -182,7 +183,7 @@ func spawnServer(bin string, extra []string) (*spawned, error) {
 			cmd.Process.Kill()
 			return nil, fmt.Errorf("spawned server did not come up within 10s")
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(bo.Delay(attempt))
 	}
 }
 
@@ -385,7 +386,8 @@ func runSmoke(o options) error {
 		return fmt.Errorf("async submit: %w", err)
 	}
 	deadline := time.Now().Add(30 * time.Second)
-	for {
+	pollBo := cmdutil.Backoff{Base: 10 * time.Millisecond, Cap: 200 * time.Millisecond}
+	for attempt := 0; ; attempt++ {
 		if err := getJSON(c, base+"/v1/jobs/"+job.ID, &job); err != nil {
 			return fmt.Errorf("job poll: %w", err)
 		}
@@ -395,7 +397,7 @@ func runSmoke(o options) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("job %s did not finish within 30s", job.ID)
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(pollBo.Delay(attempt))
 	}
 	var jobErr error
 	if job.State != "done" {
@@ -449,14 +451,15 @@ func (noCancel) Value(any) any               { return nil }
 
 func waitFlat(check func() (bool, error), budget time.Duration) error {
 	deadline := time.Now().Add(budget)
+	bo := cmdutil.Backoff{Base: 25 * time.Millisecond, Cap: 250 * time.Millisecond}
 	var lastErr error
-	for time.Now().Before(deadline) {
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
 		ok, err := check()
 		lastErr = err
 		if ok {
 			return nil
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(bo.Delay(attempt))
 	}
 	if lastErr != nil {
 		return lastErr

@@ -19,8 +19,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"ule/internal/cmdutil"
 )
 
 func main() {
@@ -106,21 +109,40 @@ func main() {
 	fmt.Printf("job %s: done, %d trials\n", job.ID, summary.TotalTrials)
 }
 
+// post retries 503s (full job table, draining server) with capped
+// backoff, honoring the server's Retry-After hint when present instead of
+// hot-looping on a saturated server.
 func post(url string, req, res any) error {
+	const maxAttempts = 5
+	bo := cmdutil.Backoff{Base: 200 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.2}
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var eb struct {
-			Error string `json:"error"`
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
 		}
-		json.NewDecoder(resp.Body).Decode(&eb)
-		return fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, eb.Error)
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxAttempts-1 {
+			delay := bo.Delay(attempt)
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				if hinted := time.Duration(secs) * time.Second; hinted < delay {
+					delay = hinted
+				}
+			}
+			resp.Body.Close()
+			fmt.Printf("server busy (503), retrying in %v…\n", delay.Round(time.Millisecond))
+			time.Sleep(delay)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			var eb struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&eb)
+			return fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, eb.Error)
+		}
+		return json.NewDecoder(resp.Body).Decode(res)
 	}
-	return json.NewDecoder(resp.Body).Decode(res)
 }
 
 func get(url string, res any) error {

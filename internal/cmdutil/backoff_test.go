@@ -1,0 +1,103 @@
+package cmdutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		160 * time.Millisecond,
+		160 * time.Millisecond, // capped
+		160 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5, Seed: 42}
+	same := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5, Seed: 42}
+	other := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5, Seed: 43}
+	noJitter := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2}
+
+	differs := false
+	for i := 0; i < 12; i++ {
+		d := b.Delay(i)
+		full := noJitter.Delay(i)
+		if d > full || d < full/2 {
+			t.Fatalf("Delay(%d) = %v outside jitter window [%v, %v]", i, d, full/2, full)
+		}
+		if got := same.Delay(i); got != d {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, got, d)
+		}
+		if other.Delay(i) != d {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical 12-delay sequences")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0); d != 10*time.Millisecond {
+		t.Fatalf("zero-value Delay(0) = %v, want 10ms", d)
+	}
+	if d := b.Delay(100); d != 300*time.Millisecond {
+		t.Fatalf("zero-value Delay(100) = %v, want the 30·Base cap", d)
+	}
+	if d := b.Delay(-3); d != b.Delay(0) {
+		t.Fatalf("negative attempt = %v, want Delay(0)", d)
+	}
+}
+
+func TestBackoffConcurrentUse(t *testing.T) {
+	// Value semantics: no locks, so concurrent Delay calls must agree.
+	b := Backoff{Base: time.Millisecond, Jitter: 0.3, Seed: 7}
+	want := make([]time.Duration, 32)
+	for i := range want {
+		want[i] = b.Delay(i)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range want {
+				if b.Delay(i) != want[i] {
+					t.Errorf("concurrent Delay(%d) diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestBackoffSleepInterruptible(t *testing.T) {
+	b := Backoff{Base: 10 * time.Second}
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if b.Sleep(0, done) {
+		t.Fatal("Sleep returned true despite closed done channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on closed done channel")
+	}
+	quick := Backoff{Base: time.Millisecond}
+	if !quick.Sleep(0, nil) {
+		t.Fatal("Sleep with nil done returned false")
+	}
+}

@@ -1,0 +1,523 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ule/internal/cmdutil"
+	"ule/internal/harness"
+)
+
+// Config drives one fleet run. Zero values pick conservative defaults;
+// only Spec and Out are required.
+type Config struct {
+	// Spec is the sweep to run. It is written verbatim to Dir/spec.json
+	// and handed to every worker, so both sides compile the identical
+	// spec and every shard carries the same spec hash.
+	Spec harness.Spec
+
+	// Workers is the number of concurrent worker processes (default 2).
+	Workers int
+
+	// UnitTrials is the work-unit size in trials. Default: enough units
+	// for ~4 leases per worker, at least 1 trial each.
+	UnitTrials int
+
+	// CheckpointEvery is the shard checkpoint cadence handed to workers
+	// and used for the merged output (0 = the harness default). Byte
+	// identity with a single-process run requires the same cadence on
+	// both sides.
+	CheckpointEvery int
+
+	// HeartbeatTimeout revokes a worker's lease when its stdout has been
+	// silent this long (default 10s). Workers emit one "hb" line per
+	// completed trial.
+	HeartbeatTimeout time.Duration
+
+	// MaxAttempts quarantines a unit after this many failed attempts
+	// (default 4). A quarantined unit's completed prefix still merges;
+	// the rest is reported in Result.Incomplete.
+	MaxAttempts int
+
+	// Backoff paces retries of a failed unit (zero value: 10ms base,
+	// 300ms cap, no jitter — see cmdutil.Backoff).
+	Backoff cmdutil.Backoff
+
+	// Dir holds the spec file and shard files (default: a fresh temp
+	// directory, left on disk for post-mortems).
+	Dir string
+
+	// Out is the merged ule-sweepbin output path (required).
+	Out string
+
+	// JSONOut, when set, additionally exports the merged document as
+	// canonical sweep JSON.
+	JSONOut string
+
+	// WorkerArgv is the worker command prefix; the coordinator appends
+	// -spec/-start/-count/-shard/-checkpoint-every and chaos flags.
+	// Default: this executable with a -worker flag (the cmd/ule-fleet
+	// layout). Tests point it at the test binary re-exec hook.
+	WorkerArgv []string
+
+	// WorkerEnv is appended to the inherited environment of every worker.
+	WorkerEnv []string
+
+	// Chaos, when non-nil, injects seed-deterministic faults (first
+	// attempts only) — the chaos gate proving crash-safety.
+	Chaos *ChaosPlan
+
+	// Log receives human-readable progress lines and worker stderr
+	// (default: discarded).
+	Log io.Writer
+}
+
+// Result is the machine-readable outcome of a fleet run. On partial
+// failure (quarantined units) Run returns it alongside a non-nil error
+// with Incomplete listing exactly the trial ranges missing from Out.
+type Result struct {
+	Report        *harness.Report      `json:"-"`
+	MergedPath    string               `json:"merged_path,omitempty"`
+	Total         int                  `json:"total_trials"`
+	Units         int                  `json:"units"`
+	Workers       int                  `json:"workers"`
+	Retries       int                  `json:"retries"`
+	Reassignments int                  `json:"reassignments"`
+	Kills         int                  `json:"kills"`
+	Stalls        int                  `json:"stalls"`
+	Corruptions   int                  `json:"corruptions"`
+	Quarantined   []int                `json:"quarantined,omitempty"`
+	Incomplete    []harness.TrialRange `json:"incomplete,omitempty"`
+	ElapsedMS     int64                `json:"elapsed_ms"`
+}
+
+// ErrIncomplete is wrapped by Run when quarantined units left holes in
+// the sweep; Result.Incomplete carries the exact missing ranges.
+var ErrIncomplete = errors.New("fleet: sweep incomplete")
+
+// unit is one leased trial range. files accumulates every shard that
+// holds valid trials for the range (reassignment after a stall keeps the
+// stalled worker's partial shard, creating genuine overlap for the
+// merge's duplicate detection).
+type unit struct {
+	id      int
+	r       harness.TrialRange
+	attempt int
+	file    string
+	files   []string
+}
+
+type coordinator struct {
+	cfg      Config
+	spec     harness.Spec
+	specPath string
+	actions  map[int]chaosAction
+	units    []*unit
+
+	ready     chan *unit
+	remaining atomic.Int64
+
+	mu  sync.Mutex
+	res Result
+}
+
+// Run executes the sweep across cfg.Workers exec'd worker processes and
+// merges their shards into a single ule-sweepbin document at cfg.Out
+// that is byte-identical to a single-process run. Worker crashes, hangs
+// and shard corruption are retried with capped backoff; units that keep
+// failing are quarantined and reported via Result.Incomplete together
+// with an ErrIncomplete-wrapped error.
+func Run(cfg Config) (*Result, error) {
+	start := time.Now()
+	c, err := newCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range c.units {
+		c.ready <- u
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range c.ready {
+				c.runUnit(u)
+			}
+		}()
+	}
+	wg.Wait()
+
+	err = c.merge()
+	c.res.ElapsedMS = time.Since(start).Milliseconds()
+	return &c.res, err
+}
+
+func newCoordinator(cfg Config) (*coordinator, error) {
+	if cfg.Out == "" {
+		return nil, fmt.Errorf("fleet: Config.Out is required")
+	}
+	total, err := cfg.Spec.Validate()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: spec: %w", err)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.UnitTrials <= 0 {
+		cfg.UnitTrials = total / (4 * cfg.Workers)
+		if cfg.UnitTrials < 1 {
+			cfg.UnitTrials = 1
+		}
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "ule-fleet-*")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Dir = dir
+	}
+	if len(cfg.WorkerArgv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: no WorkerArgv and no executable path: %w", err)
+		}
+		cfg.WorkerArgv = []string{exe, "-worker"}
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+
+	specJSON, err := json.Marshal(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	specPath := filepath.Join(cfg.Dir, "spec.json")
+	if err := os.WriteFile(specPath, specJSON, 0o644); err != nil {
+		return nil, err
+	}
+
+	ranges := partition(total, cfg.UnitTrials)
+	c := &coordinator{
+		cfg:      cfg,
+		spec:     cfg.Spec,
+		specPath: specPath,
+		actions:  cfg.Chaos.actions(ranges),
+		ready:    make(chan *unit, len(ranges)),
+	}
+	for i, r := range ranges {
+		c.units = append(c.units, &unit{
+			id:   i,
+			r:    r,
+			file: filepath.Join(cfg.Dir, fmt.Sprintf("unit-%03d.ulss", i)),
+		})
+	}
+	c.remaining.Store(int64(len(c.units)))
+	c.res.Total = total
+	c.res.Units = len(c.units)
+	c.res.Workers = cfg.Workers
+	return c, nil
+}
+
+// partition splits total trials into contiguous units of at most size
+// trials each.
+func partition(total, size int) []harness.TrialRange {
+	var out []harness.TrialRange
+	for at := 0; at < total; at += size {
+		n := size
+		if at+n > total {
+			n = total - at
+		}
+		out = append(out, harness.TrialRange{Start: at, Count: n})
+	}
+	return out
+}
+
+// runUnit runs one attempt of a unit and routes the outcome: success →
+// terminal, failure → backoff-and-retry, too many failures → quarantine.
+func (c *coordinator) runUnit(u *unit) {
+	act, stalled := c.attempt(u)
+
+	if c.validShard(u.file, u.r, true) == nil {
+		u.files = append(u.files, u.file)
+		c.logf("unit %d: done (attempt %d)", u.id, u.attempt)
+		c.finish(u)
+		return
+	}
+
+	u.attempt++
+	if stalled {
+		c.mu.Lock()
+		c.res.Reassignments++
+		c.mu.Unlock()
+	}
+
+	if u.attempt >= c.cfg.MaxAttempts {
+		c.logf("unit %d: quarantined after %d attempts", u.id, u.attempt)
+		c.mu.Lock()
+		c.res.Quarantined = append(c.res.Quarantined, u.id)
+		c.mu.Unlock()
+		c.finish(u)
+		return
+	}
+
+	if stalled {
+		// The stalled worker may have made durable progress; keep its
+		// shard for the merge (the fresh re-run will overlap it — the
+		// merge dedups by absolute trial index) and reassign the lease to
+		// a new file so the retry never contends with a zombie writer.
+		if c.validShard(u.file, u.r, false) == nil {
+			u.files = append(u.files, u.file)
+		}
+		u.file = filepath.Join(c.cfg.Dir, fmt.Sprintf("unit-%03d.r%d.ulss", u.id, u.attempt))
+	}
+
+	c.mu.Lock()
+	c.res.Retries++
+	c.mu.Unlock()
+	c.logf("unit %d: attempt %d failed (chaos=%s), retrying in %v",
+		u.id, u.attempt-1, act.kind, c.cfg.Backoff.Delay(u.attempt-1))
+	go func() {
+		c.cfg.Backoff.Sleep(u.attempt-1, nil)
+		c.ready <- u
+	}()
+}
+
+// finish marks a unit terminal (done or quarantined) and closes the
+// queue once every unit is terminal. Safe against pending retry sends: a
+// unit sleeping toward a retry is non-terminal, so remaining stays
+// positive until that send has been received and resolved.
+func (c *coordinator) finish(u *unit) {
+	if c.remaining.Add(-1) == 0 {
+		close(c.ready)
+	}
+}
+
+// attempt execs one worker for the unit, feeding it the unit's chaos
+// action on the first attempt, and enforces the heartbeat deadline.
+// It returns the injected action (for logging) and whether the watchdog
+// revoked the lease.
+func (c *coordinator) attempt(u *unit) (chaosAction, bool) {
+	act := chaosAction{}
+	if a, ok := c.actions[u.id]; ok && u.attempt == 0 {
+		act = a
+	}
+
+	argv := append([]string(nil), c.cfg.WorkerArgv...)
+	argv = append(argv,
+		"-spec", c.specPath,
+		"-start", strconv.Itoa(u.r.Start),
+		"-count", strconv.Itoa(u.r.Count),
+		"-shard", u.file,
+		"-checkpoint-every", strconv.Itoa(c.cfg.CheckpointEvery),
+	)
+	c.mu.Lock()
+	switch act.kind {
+	case chaosKill:
+		argv = append(argv, "-kill-after", strconv.Itoa(act.after))
+		c.res.Kills++
+	case chaosStall:
+		argv = append(argv, "-stall-after", strconv.Itoa(act.after))
+		c.res.Stalls++
+	}
+	c.mu.Unlock()
+
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), c.cfg.WorkerEnv...)
+	cmd.Stderr = c.cfg.Log
+	stdout, err := cmd.StdoutPipe()
+	if err == nil {
+		err = cmd.Start()
+	}
+	if err != nil {
+		c.logf("unit %d: exec: %v", u.id, err)
+		return act, false
+	}
+
+	// The lease: every stdout line refreshes the deadline; a worker
+	// silent past HeartbeatTimeout is declared hung and SIGKILLed.
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	var stalled atomic.Bool
+	watchdogDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(c.cfg.HeartbeatTimeout / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watchdogDone:
+				return
+			case <-tick.C:
+				silent := time.Since(time.Unix(0, lastBeat.Load()))
+				if silent > c.cfg.HeartbeatTimeout {
+					stalled.Store(true)
+					cmd.Process.Kill()
+					return
+				}
+			}
+		}
+	}()
+
+	// Drain stdout to EOF (required before Wait) while refreshing the
+	// heartbeat on every line.
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := stdout.Read(buf)
+		if n > 0 {
+			lastBeat.Store(time.Now().UnixNano())
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	waitErr := cmd.Wait()
+	close(watchdogDone)
+
+	// The corruption fault is injected by the coordinator after a clean
+	// exit: flip the shard's last 8 bytes, tearing the end record the way
+	// a dying disk would. Validation below rejects it and the retry
+	// resumes from the last intact checkpoint.
+	if act.kind == chaosCorrupt && waitErr == nil {
+		if err := corruptTail(u.file); err == nil {
+			c.mu.Lock()
+			c.res.Corruptions++
+			c.mu.Unlock()
+		}
+	}
+	return act, stalled.Load()
+}
+
+// validShard checks that a shard file is intact, covers exactly the
+// unit's range, matches the sweep spec hash, and (when needDone) ran to
+// completion. A nil error means the file is safe to merge.
+func (c *coordinator) validShard(path string, r harness.TrialRange, needDone bool) error {
+	ck, err := harness.InspectShard(path)
+	if err != nil {
+		return err
+	}
+	if ck.Start != r.Start || ck.Count != r.Count {
+		return fmt.Errorf("shard %s covers [%d,+%d), want [%d,+%d)", path, ck.Start, ck.Count, r.Start, r.Count)
+	}
+	if err := ck.CheckSpec(c.spec); err != nil {
+		return err
+	}
+	if needDone && !ck.Done {
+		return fmt.Errorf("shard %s incomplete: %d/%d", path, ck.Completed, ck.Count)
+	}
+	if !needDone && ck.Completed == 0 {
+		return fmt.Errorf("shard %s has no durable trials", path)
+	}
+	return nil
+}
+
+// merge assembles every valid shard into the final document. Shards from
+// quarantined units contribute their completed prefix; remaining holes
+// surface as Result.Incomplete plus an ErrIncomplete error, produced
+// before a single output byte is written.
+func (c *coordinator) merge() error {
+	var paths []string
+	for _, u := range c.units {
+		paths = append(paths, u.files...)
+		// A quarantined unit's last shard never passed full validation,
+		// but a durable prefix is still worth merging.
+		if len(u.files) == 0 || u.files[len(u.files)-1] != u.file {
+			if c.validShard(u.file, u.r, false) == nil {
+				paths = append(paths, u.file)
+			}
+		}
+	}
+
+	out, err := os.Create(c.cfg.Out)
+	if err != nil {
+		return err
+	}
+	opt := harness.BinaryOptions{CheckpointEvery: c.cfg.CheckpointEvery}
+	rep, err := harness.MergeShards(c.spec, paths, harness.MergeConfig{
+		Emitters: []harness.Emitter{harness.NewBinaryEmitter(out, opt)},
+	})
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(c.cfg.Out)
+		var ie *harness.IncompleteError
+		if errors.As(err, &ie) {
+			c.res.Incomplete = ie.Missing
+			return fmt.Errorf("%w: %v", ErrIncomplete, err)
+		}
+		return err
+	}
+	c.res.Report = rep
+	c.res.MergedPath = c.cfg.Out
+
+	if c.cfg.JSONOut != "" {
+		if err := exportJSONFile(c.cfg.Out, c.cfg.JSONOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportJSONFile converts a merged binary document to canonical sweep
+// JSON on disk.
+func exportJSONFile(binPath, jsonPath string) error {
+	in, err := os.Open(binPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	if err := harness.ExportJSON(in, out); err != nil {
+		out.Close()
+		os.Remove(jsonPath)
+		return err
+	}
+	return out.Close()
+}
+
+// corruptTail flips the last 8 bytes of a file in place.
+func corruptTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < 8 {
+		return fmt.Errorf("file too small to corrupt")
+	}
+	tail := make([]byte, 8)
+	if _, err := f.ReadAt(tail, st.Size()-8); err != nil {
+		return err
+	}
+	for i := range tail {
+		tail[i] ^= 0xFF
+	}
+	_, err = f.WriteAt(tail, st.Size()-8)
+	return err
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	fmt.Fprintf(c.cfg.Log, "fleet: "+format+"\n", args...)
+}

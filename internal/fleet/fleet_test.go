@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ule/internal/cmdutil"
+	"ule/internal/harness"
+)
+
+// TestMain doubles as the worker executable: the coordinator re-execs
+// this test binary with ULE_FLEET_WORKER=1 and worker flags, exercising
+// the real exec/heartbeat/crash path rather than an in-process fake.
+func TestMain(m *testing.M) {
+	if os.Getenv("ULE_FLEET_WORKER") == "1" {
+		os.Exit(RunWorker(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
+
+// fleetSpec is small enough for process-per-unit tests but crosses
+// graphs, execution models and fault schedules: 24 trials.
+func fleetSpec() harness.Spec {
+	return harness.Spec{
+		Name:     "fleet-test",
+		Algos:    []string{"leastel"},
+		Graphs:   []string{"ring:12", "random:16:40"},
+		Modes:    []string{"congest", "async"},
+		Faults:   []string{"", "crash:0.2"},
+		Trials:   3,
+		Seed:     9,
+		SmallIDs: true,
+	}
+}
+
+const testCadence = 4
+
+func fleetConfig(t *testing.T, spec harness.Spec) Config {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	return Config{
+		Spec:            spec,
+		Workers:         3,
+		UnitTrials:      5,
+		CheckpointEvery: testCadence,
+		Backoff:         cmdutil.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1},
+		Dir:             dir,
+		Out:             filepath.Join(dir, "merged.ulsb"),
+		WorkerArgv:      []string{exe},
+		WorkerEnv:       []string{"ULE_FLEET_WORKER=1"},
+	}
+}
+
+// refRun produces the single-process reference document every fleet run
+// must reproduce byte for byte.
+func refRun(t *testing.T, spec harness.Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	opt := harness.BinaryOptions{CheckpointEvery: testCadence}
+	_, err := harness.Run(spec, harness.RunConfig{
+		Emitters: []harness.Emitter{harness.NewBinaryEmitter(&buf, opt)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkMerged(t *testing.T, cfg Config, want []byte) {
+	t.Helper()
+	got, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged binary differs from single-process run: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+func TestFleetByteIdentical(t *testing.T) {
+	spec := fleetSpec()
+	cfg := fleetConfig(t, spec)
+	cfg.JSONOut = filepath.Join(cfg.Dir, "merged.json")
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := refRun(t, spec)
+	checkMerged(t, cfg, want)
+
+	if res.Retries != 0 || res.Reassignments != 0 {
+		t.Fatalf("chaos-free run reported retries=%d reassignments=%d", res.Retries, res.Reassignments)
+	}
+	if res.Units != 5 || res.Total != 24 {
+		t.Fatalf("units=%d total=%d, want 5 units over 24 trials", res.Units, res.Total)
+	}
+	if res.Report == nil || res.Report.Total != 24 {
+		t.Fatalf("missing or wrong merged report: %+v", res.Report)
+	}
+
+	var wantJSON bytes.Buffer
+	if err := harness.ExportJSON(bytes.NewReader(want), &wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := os.ReadFile(cfg.JSONOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON.Bytes()) {
+		t.Fatal("merged JSON export differs from single-process export")
+	}
+}
+
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	spec := fleetSpec()
+	want := refRun(t, spec)
+	for _, workers := range []int{1, 2, 4} {
+		cfg := fleetConfig(t, spec)
+		cfg.Workers = workers
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkMerged(t, cfg, want)
+	}
+}
+
+func TestFleetKillChaos(t *testing.T) {
+	spec := fleetSpec()
+	cfg := fleetConfig(t, spec)
+	cfg.Chaos = &ChaosPlan{Seed: 42, Kill: 1, MaxActions: 2}
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Kills != 2 {
+		t.Fatalf("kills = %d, want 2", res.Kills)
+	}
+	if res.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2 (one per killed worker)", res.Retries)
+	}
+	checkMerged(t, cfg, refRun(t, spec))
+}
+
+func TestFleetStallChaos(t *testing.T) {
+	spec := fleetSpec()
+	cfg := fleetConfig(t, spec)
+	cfg.Chaos = &ChaosPlan{Seed: 7, Stall: 1, MaxActions: 1}
+	cfg.HeartbeatTimeout = 2 * time.Second
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", res.Stalls)
+	}
+	if res.Reassignments != 1 {
+		t.Fatalf("reassignments = %d, want 1 (watchdog must revoke the hung lease)", res.Reassignments)
+	}
+	checkMerged(t, cfg, refRun(t, spec))
+}
+
+func TestFleetCorruptChaos(t *testing.T) {
+	spec := fleetSpec()
+	cfg := fleetConfig(t, spec)
+	cfg.Chaos = &ChaosPlan{Seed: 3, Corrupt: 1, MaxActions: 1}
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", res.Corruptions)
+	}
+	if res.Retries < 1 {
+		t.Fatalf("retries = %d, want >= 1 (corrupt shard must be rejected and redone)", res.Retries)
+	}
+	checkMerged(t, cfg, refRun(t, spec))
+}
+
+// TestFleetMixedChaos drives every fault kind in one run (probabilities
+// sum to 1, so every unit draws a fault) and still demands byte
+// identity; it also pins the schedule's seed-determinism.
+func TestFleetMixedChaos(t *testing.T) {
+	spec := fleetSpec()
+	plan := &ChaosPlan{Seed: 11, Kill: 0.4, Stall: 0.3, Corrupt: 0.3}
+
+	units := partition(24, 5)
+	if a, b := plan.actions(units), plan.actions(units); !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos schedule not deterministic: %v vs %v", a, b)
+	}
+
+	cfg := fleetConfig(t, spec)
+	cfg.Chaos = plan
+	cfg.HeartbeatTimeout = 2 * time.Second
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.Kills + res.Stalls + res.Corruptions; got != res.Units {
+		t.Fatalf("injected %d faults across %d units, want one per unit", got, res.Units)
+	}
+	checkMerged(t, cfg, refRun(t, spec))
+}
+
+// TestFleetQuarantine wedges every worker (an unconditional boundary
+// kill baked into WorkerArgv) and checks graceful degradation: all units
+// quarantined, no merged output, and a machine-readable report of
+// exactly the missing ranges.
+func TestFleetQuarantine(t *testing.T) {
+	spec := fleetSpec()
+	cfg := fleetConfig(t, spec)
+	cfg.WorkerArgv = append(cfg.WorkerArgv, "-kill-after", "0")
+	cfg.MaxAttempts = 2
+
+	res, err := Run(cfg)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+	if len(res.Quarantined) != res.Units {
+		t.Fatalf("quarantined %d of %d units", len(res.Quarantined), res.Units)
+	}
+	wantMissing := []harness.TrialRange{{Start: 0, Count: 24}}
+	if !reflect.DeepEqual(res.Incomplete, wantMissing) {
+		t.Fatalf("incomplete = %+v, want %+v", res.Incomplete, wantMissing)
+	}
+	if res.Retries != res.Units*(cfg.MaxAttempts-1) {
+		t.Fatalf("retries = %d, want %d (MaxAttempts-1 per unit)", res.Retries, res.Units*(cfg.MaxAttempts-1))
+	}
+	if _, err := os.Stat(cfg.Out); !os.IsNotExist(err) {
+		t.Fatalf("incomplete run must not leave a merged file (stat err=%v)", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ total, size, units int }{
+		{24, 5, 5}, {24, 24, 1}, {24, 25, 1}, {1, 1, 1}, {10, 3, 4},
+	} {
+		rs := partition(tc.total, tc.size)
+		if len(rs) != tc.units {
+			t.Fatalf("partition(%d,%d) = %d units, want %d", tc.total, tc.size, len(rs), tc.units)
+		}
+		at := 0
+		for _, r := range rs {
+			if r.Start != at || r.Count <= 0 || r.Count > tc.size {
+				t.Fatalf("partition(%d,%d): bad range %+v at %d", tc.total, tc.size, r, at)
+			}
+			at += r.Count
+		}
+		if at != tc.total {
+			t.Fatalf("partition(%d,%d) covers %d trials", tc.total, tc.size, at)
+		}
+	}
+}

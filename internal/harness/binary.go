@@ -45,9 +45,25 @@ import (
 // ule-sweep/v3 document the JSON emitter would have produced.
 const BinarySchemaVersion = "ule-sweepbin/v1"
 
+// ShardSchemaVersion identifies the shard variant of the binary format: a
+// contiguous slice [start, start+count) of a sweep's trial index space,
+// written by one worker process of a distributed run (internal/fleet).
+// The layout differs from the full document only in the header — magic
+// "ULSS1\n", then specLen/specJSON/total exactly as the full format,
+// then uvarint start and uvarint count before the cadence and spec hash —
+// and in the end record: tag 0x05 carries uvarint start, uvarint count
+// and the end magic instead of a groups trailer (group aggregation is the
+// merger's job). Trial records are byte-identical to the full format;
+// their absolute trial index is start + (records seen), and checkpoint
+// hashes are salted with (start, count) so a checkpoint from a different
+// shard of the same sweep never validates. MergeShards reassembles any
+// covering set of shards into the full document, byte-for-byte.
+const ShardSchemaVersion = "ule-sweepbin-shard/v1"
+
 var (
-	binMagic    = []byte("ULSB1\n")
-	binEndMagic = []byte("ULSE")
+	binMagic      = []byte("ULSB1\n")
+	binShardMagic = []byte("ULSS1\n")
+	binEndMagic   = []byte("ULSE")
 )
 
 // ErrSweepComplete is returned by ResumeBinary when the file already
@@ -85,6 +101,7 @@ const (
 	binTagTrial      = 0x02
 	binTagCheckpoint = 0x03
 	binTagEnd        = 0x04
+	binTagShardEnd   = 0x05
 )
 
 // BinaryOptions tunes the binary emitter.
@@ -109,13 +126,28 @@ func sweepSpecHash(specJSON []byte, total int) uint64 {
 	return h.Sum64()
 }
 
-// checkpointHash authenticates one checkpoint record.
-func checkpointHash(specHash uint64, completed int) uint64 {
+// checkpointHash authenticates one checkpoint record. salt is the spec
+// hash for full documents and shardSalt(specHash, start, count) for
+// shards, so a shard checkpoint never validates against a different
+// range of the same sweep.
+func checkpointHash(salt uint64, completed int) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte("ulsb-ckpt"))
 	var b [16]byte
-	binary.LittleEndian.PutUint64(b[:8], specHash)
+	binary.LittleEndian.PutUint64(b[:8], salt)
 	binary.LittleEndian.PutUint64(b[8:], uint64(completed))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// shardSalt derives the checkpoint-hash salt of one shard range.
+func shardSalt(specHash uint64, start, count int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("ulsb-shard"))
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[:8], specHash)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(start))
+	binary.LittleEndian.PutUint64(b[16:], uint64(count))
 	h.Write(b[:])
 	return h.Sum64()
 }
@@ -132,10 +164,18 @@ type binaryEmitter struct {
 	cells    map[[6]string]int
 	specSeed int64
 	specHash uint64
+	ckSalt   uint64
 	total    int
 	written  int
 	every    int
 	resumed  bool
+
+	// Shard emitters write the range [start, start+count) of the sweep's
+	// trial index space; full-document emitters have shard=false and
+	// count=total.
+	shard bool
+	start int
+	count int
 }
 
 type fileSyncer interface{ Sync() error }
@@ -159,6 +199,20 @@ func NewBinaryEmitter(w io.Writer, opt BinaryOptions) Emitter {
 	return e
 }
 
+// NewShardEmitter returns an emitter writing the shard variant of the
+// binary format covering trials [start, start+count) of the sweep. Like
+// NewBinaryEmitter it fsyncs at every checkpoint when w is a file, so a
+// killed worker's shard resumes from its last durable checkpoint
+// (ResumeShard). Pair it with RunConfig.Range so only the shard's trials
+// execute.
+func NewShardEmitter(w io.Writer, start, count int, opt BinaryOptions) Emitter {
+	e := NewBinaryEmitter(w, opt).(*binaryEmitter)
+	e.shard = true
+	e.start = start
+	e.count = count
+	return e
+}
+
 func (e *binaryEmitter) Begin(spec Spec, total int) error {
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
@@ -174,14 +228,33 @@ func (e *binaryEmitter) Begin(spec Spec, total int) error {
 		e.specSeed = spec.withDefaults().Seed
 		return nil
 	}
+	if e.shard {
+		if e.start < 0 || e.count <= 0 || e.start+e.count > total {
+			return fmt.Errorf("harness: shard range [%d,%d) outside sweep of %d trials", e.start, e.start+e.count, total)
+		}
+	} else {
+		e.start, e.count = 0, total
+	}
 	e.specSeed = spec.withDefaults().Seed
 	e.specHash = hash
+	e.ckSalt = hash
+	if e.shard {
+		e.ckSalt = shardSalt(hash, e.start, e.count)
+	}
 	e.total = total
 	b := e.buf[:0]
-	b = append(b, binMagic...)
+	if e.shard {
+		b = append(b, binShardMagic...)
+	} else {
+		b = append(b, binMagic...)
+	}
 	b = binary.AppendUvarint(b, uint64(len(specJSON)))
 	b = append(b, specJSON...)
 	b = binary.AppendUvarint(b, uint64(total))
+	if e.shard {
+		b = binary.AppendUvarint(b, uint64(e.start))
+		b = binary.AppendUvarint(b, uint64(e.count))
+	}
 	b = binary.AppendUvarint(b, uint64(e.every))
 	b = binary.LittleEndian.AppendUint64(b, hash)
 	e.buf = b
@@ -257,18 +330,20 @@ func (e *binaryEmitter) Trial(tr TrialResult) error {
 		return err
 	}
 	e.written++
-	if e.written%e.every == 0 && e.written < e.total {
+	if e.written%e.every == 0 && e.written < e.count {
 		return e.checkpoint()
 	}
 	return nil
 }
 
 // checkpoint writes a checkpoint record and makes the prefix durable.
+// The completed count is range-local (equal to the absolute count for
+// full documents).
 func (e *binaryEmitter) checkpoint() error {
 	b := e.buf[:0]
 	b = append(b, binTagCheckpoint)
 	b = binary.AppendUvarint(b, uint64(e.written))
-	b = binary.LittleEndian.AppendUint64(b, checkpointHash(e.specHash, e.written))
+	b = binary.LittleEndian.AppendUint64(b, checkpointHash(e.ckSalt, e.written))
 	e.buf = b
 	if _, err := e.w.Write(b); err != nil {
 		return err
@@ -283,17 +358,27 @@ func (e *binaryEmitter) checkpoint() error {
 }
 
 func (e *binaryEmitter) End(rep *Report) error {
-	groupsJSON, err := json.Marshal(rep.Groups)
-	if err != nil {
-		return err
-	}
 	b := e.buf[:0]
-	b = append(b, binTagEnd)
-	b = binary.AppendUvarint(b, uint64(len(groupsJSON)))
-	b = append(b, groupsJSON...)
-	b = binary.AppendUvarint(b, uint64(rep.Total))
-	b = binary.AppendUvarint(b, uint64(rep.Errors))
-	b = append(b, binEndMagic...)
+	if e.shard {
+		if e.written != e.count {
+			return fmt.Errorf("harness: shard end after %d of %d trials", e.written, e.count)
+		}
+		b = append(b, binTagShardEnd)
+		b = binary.AppendUvarint(b, uint64(e.start))
+		b = binary.AppendUvarint(b, uint64(e.count))
+		b = append(b, binEndMagic...)
+	} else {
+		groupsJSON, err := json.Marshal(rep.Groups)
+		if err != nil {
+			return err
+		}
+		b = append(b, binTagEnd)
+		b = binary.AppendUvarint(b, uint64(len(groupsJSON)))
+		b = append(b, groupsJSON...)
+		b = binary.AppendUvarint(b, uint64(rep.Total))
+		b = binary.AppendUvarint(b, uint64(rep.Errors))
+		b = append(b, binEndMagic...)
+	}
 	e.buf = b
 	if _, err := e.w.Write(b); err != nil {
 		return err
@@ -407,6 +492,8 @@ func (br *binReader) uint64LE() (uint64, error) {
 }
 
 // binHeader is the decoded fixed header of a binary sweep document.
+// Full documents have shard=false, start=0, count=total, ckSalt=specHash;
+// shard documents carry their range and the salted checkpoint key.
 type binHeader struct {
 	specJSON []byte
 	spec     Spec
@@ -414,6 +501,11 @@ type binHeader struct {
 	total    int
 	every    int
 	specHash uint64
+
+	shard  bool
+	start  int
+	count  int
+	ckSalt uint64
 }
 
 func readBinHeader(br *binReader) (*binHeader, error) {
@@ -421,7 +513,8 @@ func readBinHeader(br *binReader) (*binHeader, error) {
 	if err := br.readFull(magic); err != nil {
 		return nil, fmt.Errorf("harness: not a %s document: %w", BinarySchemaVersion, err)
 	}
-	if !bytes.Equal(magic, binMagic) {
+	shard := bytes.Equal(magic, binShardMagic)
+	if !shard && !bytes.Equal(magic, binMagic) {
 		return nil, fmt.Errorf("harness: not a %s document (bad magic)", BinarySchemaVersion)
 	}
 	specLen, err := br.uvarintMax(maxBinGroups, "spec")
@@ -435,6 +528,20 @@ func readBinHeader(br *binReader) (*binHeader, error) {
 	total, err := br.uvarintMax(1<<40, "total")
 	if err != nil {
 		return nil, fmt.Errorf("harness: binary header: %w", err)
+	}
+	var start, count uint64
+	if shard {
+		if start, err = br.uvarintMax(1<<40, "shard start"); err != nil {
+			return nil, fmt.Errorf("harness: binary header: %w", err)
+		}
+		if count, err = br.uvarintMax(1<<40, "shard count"); err != nil {
+			return nil, fmt.Errorf("harness: binary header: %w", err)
+		}
+		if count == 0 || start+count > total {
+			return nil, fmt.Errorf("harness: binary header: shard range [%d,%d) outside sweep of %d trials", start, start+count, total)
+		}
+	} else {
+		count = total
 	}
 	every, err := br.uvarintMax(1<<40, "checkpoint cadence")
 	if err != nil {
@@ -450,7 +557,13 @@ func readBinHeader(br *binReader) (*binHeader, error) {
 	if want := sweepSpecHash(specJSON, int(total)); hash != want {
 		return nil, fmt.Errorf("harness: binary header: spec hash %016x does not match spec (%016x)", hash, want)
 	}
-	h := &binHeader{specJSON: specJSON, total: int(total), every: int(every), specHash: hash}
+	h := &binHeader{
+		specJSON: specJSON, total: int(total), every: int(every), specHash: hash,
+		shard: shard, start: int(start), count: int(count), ckSalt: hash,
+	}
+	if shard {
+		h.ckSalt = shardSalt(hash, h.start, h.count)
+	}
 	if err := json.Unmarshal(specJSON, &h.spec); err != nil {
 		return nil, fmt.Errorf("harness: binary header: invalid spec JSON: %w", err)
 	}
@@ -463,11 +576,16 @@ type binCell struct {
 	n, m int
 }
 
-// binTrailer is the decoded end record.
+// binTrailer is the decoded end record: a groups trailer (tag 0x04, full
+// documents) or a shard end (tag 0x05, shard documents).
 type binTrailer struct {
 	groupsJSON []byte
 	total      int
 	errors     int
+
+	shard bool
+	start int
+	count int
 }
 
 // readBinRecord decodes the next record after the header. Exactly one of
@@ -596,12 +714,15 @@ func readBinRecord(br *binReader, h *binHeader, cells *[]binCell, trialsSeen int
 		if err != nil {
 			return tag, tr, 0, nil, err
 		}
-		if hash != checkpointHash(h.specHash, int(done)) {
+		if hash != checkpointHash(h.ckSalt, int(done)) {
 			return tag, tr, 0, nil, fmt.Errorf("harness: binary document: checkpoint hash mismatch at %d trials", done)
 		}
 		return tag, tr, int(done), nil, nil
 
 	case binTagEnd:
+		if h.shard {
+			return tag, tr, 0, nil, fmt.Errorf("harness: binary document: groups trailer inside a shard document")
+		}
 		groupsJSON, err := br.str(maxBinGroups, "groups trailer")
 		if err != nil {
 			return tag, tr, 0, nil, err
@@ -622,6 +743,31 @@ func readBinRecord(br *binReader, h *binHeader, cells *[]binCell, trialsSeen int
 			return tag, tr, 0, nil, fmt.Errorf("harness: binary document: bad end magic")
 		}
 		return tag, tr, 0, &binTrailer{groupsJSON: []byte(groupsJSON), total: int(total), errors: int(errCount)}, nil
+
+	case binTagShardEnd:
+		if !h.shard {
+			return tag, tr, 0, nil, fmt.Errorf("harness: binary document: shard end inside a full document")
+		}
+		start, err := br.uvarintMax(1<<40, "shard end start")
+		if err != nil {
+			return tag, tr, 0, nil, err
+		}
+		count, err := br.uvarintMax(1<<40, "shard end count")
+		if err != nil {
+			return tag, tr, 0, nil, err
+		}
+		endMagic := make([]byte, len(binEndMagic))
+		if err := br.readFull(endMagic); err != nil {
+			return tag, tr, 0, nil, err
+		}
+		if !bytes.Equal(endMagic, binEndMagic) {
+			return tag, tr, 0, nil, fmt.Errorf("harness: binary document: bad end magic")
+		}
+		if int(start) != h.start || int(count) != h.count {
+			return tag, tr, 0, nil, fmt.Errorf("harness: binary document: shard end range [%d,%d) disagrees with header [%d,%d)",
+				start, start+count, h.start, h.start+h.count)
+		}
+		return tag, tr, 0, &binTrailer{shard: true, start: int(start), count: int(count)}, nil
 
 	default:
 		return tag, tr, 0, nil, fmt.Errorf("harness: binary document: unknown record tag %02x", tag)
@@ -644,6 +790,9 @@ func decodeBinary(r io.Reader, onTrial func(TrialResult) error) (*binHeader, *bi
 	h, err := readBinHeader(br)
 	if err != nil {
 		return nil, nil, err
+	}
+	if h.shard {
+		return nil, nil, fmt.Errorf("harness: %s is a shard document; merge shards with MergeShards first", ShardSchemaVersion)
 	}
 	var cells []binCell
 	trials := 0
@@ -727,6 +876,9 @@ func ExportJSON(r io.Reader, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if h.shard {
+		return fmt.Errorf("harness: %s is a shard document; merge shards with MergeShards first", ShardSchemaVersion)
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := fmt.Fprintf(bw, "{\"schema\":%q,\n\"spec\":%s,\n\"trials\":[", SchemaVersion, h.specJSON); err != nil {
 		return err
@@ -783,11 +935,18 @@ type SweepCheckpoint struct {
 	Spec Spec
 	// Total is the declared trial count of the full sweep.
 	Total int
-	// Completed is the length of the durable trial prefix.
+	// Start and Count delimit the trial range [Start, Start+Count) the
+	// file covers: 0 and Total for full documents, the shard range for
+	// shard documents.
+	Start int
+	Count int
+	// Completed is the length of the durable trial prefix, counted from
+	// Start (range-local).
 	Completed int
 	// Done reports a complete document (end trailer present).
 	Done bool
 
+	shard    bool
 	specHash uint64
 	path     string
 	offset   int64 // byte length of the durable prefix
@@ -807,8 +966,27 @@ func (ck *SweepCheckpoint) check(spec Spec, total int) error {
 	if ck.Done {
 		return ErrSweepComplete
 	}
-	if ck.Completed > total {
-		return fmt.Errorf("harness: checkpoint claims %d of %d trials", ck.Completed, total)
+	if ck.Completed > ck.Count {
+		return fmt.Errorf("harness: checkpoint claims %d of %d trials", ck.Completed, ck.Count)
+	}
+	return nil
+}
+
+// CheckSpec verifies that the checkpoint file belongs to spec: the
+// compiled spec's hash must match the file header's. The fleet
+// coordinator uses it to detect corrupt or foreign shards (the ISSUE's
+// spec-hash-mismatch lease revocation) without touching the file.
+func (ck *SweepCheckpoint) CheckSpec(spec Spec) error {
+	p, err := spec.compile()
+	if err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(p.spec)
+	if err != nil {
+		return err
+	}
+	if hash := sweepSpecHash(specJSON, len(p.trials)); hash != ck.specHash {
+		return fmt.Errorf("harness: %s: spec hash %016x does not match sweep (%016x)", ck.path, ck.specHash, hash)
 	}
 	return nil
 }
@@ -832,7 +1010,7 @@ func (ck *SweepCheckpoint) replay(fn func(TrialResult) error) error {
 	var cells []binCell
 	trials := 0
 	for trials < ck.Completed {
-		tag, tr, _, _, err := readBinRecord(br, h, &cells, trials)
+		tag, tr, _, _, err := readBinRecord(br, h, &cells, h.start+trials)
 		if err != nil {
 			return unexpectedEOF(err)
 		}
@@ -853,8 +1031,9 @@ func (ck *SweepCheckpoint) replay(fn func(TrialResult) error) error {
 // returns the state at the last valid checkpoint (or trailer). Damage
 // past that point — a torn record from a killed process, trailing
 // garbage — is reported via durable=false for the tail, never an error,
-// as long as the header itself is sound.
-func scanCheckpoint(path string) (*SweepCheckpoint, error) {
+// as long as the header itself is sound. wantShard selects which of the
+// two document kinds the caller expects; the other kind is an error.
+func scanCheckpoint(path string, wantShard bool) (*SweepCheckpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -865,9 +1044,18 @@ func scanCheckpoint(path string) (*SweepCheckpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.shard != wantShard {
+		if h.shard {
+			return nil, fmt.Errorf("harness: %s: shard document (use InspectShard/ResumeShard)", path)
+		}
+		return nil, fmt.Errorf("harness: %s: full document, not a shard", path)
+	}
 	ck := &SweepCheckpoint{
 		Spec:     h.spec,
 		Total:    h.total,
+		Start:    h.start,
+		Count:    h.count,
+		shard:    h.shard,
 		specHash: h.specHash,
 		path:     path,
 		offset:   -1, // no durable checkpoint seen yet
@@ -876,7 +1064,7 @@ func scanCheckpoint(path string) (*SweepCheckpoint, error) {
 	var cells []binCell
 	trials := 0
 	for {
-		tag, _, completed, trailer, err := readBinRecord(br, h, &cells, trials)
+		tag, _, completed, trailer, err := readBinRecord(br, h, &cells, h.start+trials)
 		if err != nil {
 			// io.EOF at a record boundary and any torn/corrupt tail both
 			// mean: resume from the last durable checkpoint.
@@ -884,8 +1072,8 @@ func scanCheckpoint(path string) (*SweepCheckpoint, error) {
 		}
 		switch tag {
 		case binTagTrial:
-			if trials >= h.total {
-				return nil, fmt.Errorf("harness: binary document: more trials than the declared %d", h.total)
+			if trials >= h.count {
+				return nil, fmt.Errorf("harness: binary document: more trials than the declared %d", h.count)
 			}
 			trials++
 		case binTagCheckpoint:
@@ -897,8 +1085,8 @@ func scanCheckpoint(path string) (*SweepCheckpoint, error) {
 			ck.Completed = trials
 			ck.offset = br.off
 			ck.cells = len(cells)
-		case binTagEnd:
-			if trailer.total == h.total && trials == h.total {
+		case binTagEnd, binTagShardEnd:
+			if (trailer.shard || trailer.total == h.total) && trials == h.count {
 				ck.Completed = trials
 				ck.offset = br.off
 				ck.cells = len(cells)
@@ -923,7 +1111,13 @@ func finishScan(ck *SweepCheckpoint) (*SweepCheckpoint, error) {
 // InspectBinary reports the durable state of a binary sweep file without
 // modifying it.
 func InspectBinary(path string) (*SweepCheckpoint, error) {
-	return scanCheckpoint(path)
+	return scanCheckpoint(path, false)
+}
+
+// InspectShard reports the durable state of a shard file without
+// modifying it.
+func InspectShard(path string) (*SweepCheckpoint, error) {
+	return scanCheckpoint(path, true)
 }
 
 // ResumeBinary prepares an interrupted binary sweep for continuation: it
@@ -934,7 +1128,18 @@ func InspectBinary(path string) (*SweepCheckpoint, error) {
 // uninterrupted run. Returns ErrSweepComplete if the file already holds
 // the end trailer.
 func ResumeBinary(path string) (*SweepCheckpoint, Emitter, error) {
-	ck, err := scanCheckpoint(path)
+	return resumeFile(path, false)
+}
+
+// ResumeShard is ResumeBinary for shard files: the returned checkpoint
+// carries the shard range, and the emitter continues the same shard.
+// Pass RunConfig.Range matching (Start, Count) alongside Resume.
+func ResumeShard(path string) (*SweepCheckpoint, Emitter, error) {
+	return resumeFile(path, true)
+}
+
+func resumeFile(path string, shard bool) (*SweepCheckpoint, Emitter, error) {
+	ck, err := scanCheckpoint(path, shard)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -950,16 +1155,24 @@ func ResumeBinary(path string) (*SweepCheckpoint, Emitter, error) {
 	}
 	// Re-prime the emitter exactly as it was after writing the durable
 	// prefix: cell table, trial count, checkpoint cadence.
+	salt := ck.specHash
+	if shard {
+		salt = shardSalt(ck.specHash, ck.Start, ck.Count)
+	}
 	e := &binaryEmitter{
 		w:        bufio.NewWriterSize(f, 1<<16),
 		syncFn:   f.Sync,
 		closer:   f,
 		cells:    make(map[[6]string]int, ck.cells),
 		specHash: ck.specHash,
+		ckSalt:   salt,
 		total:    ck.Total,
 		written:  ck.Completed,
 		every:    ck.every,
 		resumed:  true,
+		shard:    shard,
+		start:    ck.Start,
+		count:    ck.Count,
 	}
 	if err := primeCells(path, ck, e.cells); err != nil {
 		f.Close()

@@ -120,6 +120,14 @@ func (r *Report) Group(algo, graphSpec, mode, wake string, rest ...string) *Grou
 	return nil
 }
 
+// TrialRange selects a contiguous slice [Start, Start+Count) of a
+// sweep's trial index space. Workers of a distributed run (internal/fleet)
+// each execute one range and write one shard file.
+type TrialRange struct {
+	Start int
+	Count int
+}
+
 // RunConfig tunes sweep execution (all fields optional).
 type RunConfig struct {
 	// Workers is the pool size (default GOMAXPROCS).
@@ -129,6 +137,7 @@ type RunConfig struct {
 	Emitters []Emitter
 	// Progress, when set, is called after every completed trial with the
 	// completed and total counts (from the single consumer goroutine).
+	// Both counts are range-local when Range is set.
 	Progress func(done, total int)
 	// Resume, when set, continues an interrupted binary sweep instead of
 	// starting over: the compiled spec must hash-match the checkpoint's
@@ -136,8 +145,15 @@ type RunConfig struct {
 	// file into the aggregator (not re-run and not re-emitted), and only
 	// the remaining suffix executes. Pair it with the emitter returned by
 	// ResumeBinary so the binary stream continues where it stopped; the
-	// final document is byte-identical to an uninterrupted run.
+	// final document is byte-identical to an uninterrupted run. The
+	// checkpoint's range must match Range (a full-document checkpoint
+	// pairs with Range == nil).
 	Resume *SweepCheckpoint
+	// Range, when set, restricts execution to the trials in
+	// [Start, Start+Count); emitted records keep their absolute trial
+	// indices. Emitters still receive the full spec and total in Begin,
+	// so a shard emitter can bind the shard to the whole sweep.
+	Range *TrialRange
 }
 
 // groupAcc accumulates one cell online. The three metric accumulators are
@@ -172,123 +188,34 @@ func (acc *groupAcc) add(next *TrialResult) {
 	}
 }
 
-// Run expands the spec and executes every trial on the work-stealing pool,
-// streaming records to the emitters and the online aggregator. Per-trial
-// model violations are recorded in the affected TrialResult and counted in
-// the report; Run itself fails only on invalid specs or emitter errors.
-func Run(spec Spec, rc RunConfig) (*Report, error) {
-	p, err := spec.compile()
-	if err != nil {
-		return nil, err
-	}
-	workers := rc.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	total := len(p.trials)
+// sweepAgg is the online aggregator shared by Run and MergeShards: it
+// folds trial records (fed in trial-index order) into per-cell
+// accumulators and builds the report groups, so a merged document's
+// groups are bit-identical to a single-process run's.
+type sweepAgg struct {
+	groups []*groupAcc
+	byKey  map[[6]string]*groupAcc
+}
 
-	var (
-		groups []*groupAcc
-		byKey  = make(map[[6]string]*groupAcc)
-	)
-	aggregate := func(next *TrialResult) {
-		key := [6]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay, next.Fault}
-		acc, ok := byKey[key]
-		if !ok {
-			acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
-			byKey[key] = acc
-			groups = append(groups, acc)
-		}
-		acc.add(next)
-	}
+func newSweepAgg() *sweepAgg {
+	return &sweepAgg{byKey: make(map[[6]string]*groupAcc)}
+}
 
-	// A resumed sweep re-aggregates the durable prefix from the
-	// checkpoint file; those trials are neither re-run nor re-emitted.
-	completed := 0
-	if rc.Resume != nil {
-		if err := rc.Resume.check(p.spec, total); err != nil {
-			return nil, err
-		}
-		completed = rc.Resume.Completed
+func (a *sweepAgg) add(next *TrialResult) {
+	key := [6]string{next.Algo, next.Graph, next.Mode, next.Wake, next.Delay, next.Fault}
+	acc, ok := a.byKey[key]
+	if !ok {
+		acc = &groupAcc{key: key, n: next.N, m: next.M, d: next.D}
+		a.byKey[key] = acc
+		a.groups = append(a.groups, acc)
 	}
-	for _, em := range rc.Emitters {
-		if err := em.Begin(p.spec, total); err != nil {
-			return nil, err
-		}
-	}
-	if rc.Resume != nil {
-		if err := rc.Resume.replay(func(tr TrialResult) error {
-			aggregate(&tr)
-			return nil
-		}); err != nil {
-			return nil, fmt.Errorf("harness: resume replay: %w", err)
-		}
-	}
+	acc.add(next)
+}
 
-	start := time.Now()
-	results := make(chan TrialResult, 2*workers)
-	poolDone := make(chan struct{})
-	states := make([]workerState, workers)
-	go func() {
-		defer close(results)
-		runPool(total-completed, workers, func(i, w int) {
-			select {
-			case <-poolDone:
-				return // consumer bailed on an emitter error
-			default:
-			}
-			if states[w].cache == nil {
-				states[w].cache = preparedCache{}
-			}
-			results <- runTrial(p, p.trials[completed+i], &states[w])
-		})
-	}()
-
-	// Single consumer: reorder to trial-index order, emit, aggregate.
-	// The reorder window is a power-of-two ring of small TrialResult
-	// records (see reorderRing).
-	var (
-		ring    = newReorderRing(2*workers, completed)
-		done    = completed
-		emitErr error
-	)
-	for tr := range results {
-		done++
-		if rc.Progress != nil {
-			rc.Progress(done, total)
-		}
-		ring.put(tr)
-		for {
-			next, ok := ring.take()
-			if !ok {
-				break
-			}
-			if emitErr == nil {
-				for _, em := range rc.Emitters {
-					if err := em.Trial(next); err != nil {
-						emitErr = err
-						close(poolDone)
-						break
-					}
-				}
-			}
-			aggregate(&next)
-		}
-	}
-	if emitErr != nil {
-		return nil, emitErr
-	}
-
-	rep := &Report{
-		Spec:    p.spec,
-		Total:   total,
-		Elapsed: time.Since(start),
-		Workers: workers,
-		graphs:  p.graphs,
-	}
-	// The consumer aggregates in trial-index order, so groups are already
-	// in deterministic expansion (graph-major) order.
-	for _, acc := range groups {
+// finish appends the group summaries (in first-appearance order, which is
+// trial-index order) to rep and accumulates the error total.
+func (a *sweepAgg) finish(rep *Report) {
+	for _, acc := range a.groups {
 		gs := GroupStats{
 			Algo: acc.key[0], Graph: acc.key[1], Mode: acc.key[2], Wake: acc.key[3],
 			Delay: acc.key[4], Fault: acc.key[5],
@@ -308,6 +235,125 @@ func Run(spec Spec, rc RunConfig) (*Report, error) {
 		rep.Errors += acc.errors
 		rep.Groups = append(rep.Groups, gs)
 	}
+}
+
+// Run expands the spec and executes every trial on the work-stealing pool,
+// streaming records to the emitters and the online aggregator. Per-trial
+// model violations are recorded in the affected TrialResult and counted in
+// the report; Run itself fails only on invalid specs or emitter errors.
+func Run(spec Spec, rc RunConfig) (*Report, error) {
+	p, err := spec.compile()
+	if err != nil {
+		return nil, err
+	}
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	total := len(p.trials)
+
+	// The executed range: the whole sweep, or rc.Range's slice of it.
+	rangeStart, rangeCount := 0, total
+	if rc.Range != nil {
+		rangeStart, rangeCount = rc.Range.Start, rc.Range.Count
+		if rangeStart < 0 || rangeCount <= 0 || rangeStart+rangeCount > total {
+			return nil, fmt.Errorf("harness: trial range [%d,%d) outside sweep of %d trials", rangeStart, rangeStart+rangeCount, total)
+		}
+	}
+
+	agg := newSweepAgg()
+
+	// A resumed sweep re-aggregates the durable prefix from the
+	// checkpoint file; those trials are neither re-run nor re-emitted.
+	completed := 0
+	if rc.Resume != nil {
+		if err := rc.Resume.check(p.spec, total); err != nil {
+			return nil, err
+		}
+		if rc.Resume.Start != rangeStart || rc.Resume.Count != rangeCount {
+			return nil, fmt.Errorf("harness: resume checkpoint covers [%d,%d), run range is [%d,%d)",
+				rc.Resume.Start, rc.Resume.Start+rc.Resume.Count, rangeStart, rangeStart+rangeCount)
+		}
+		completed = rc.Resume.Completed
+	}
+	for _, em := range rc.Emitters {
+		if err := em.Begin(p.spec, total); err != nil {
+			return nil, err
+		}
+	}
+	if rc.Resume != nil {
+		if err := rc.Resume.replay(func(tr TrialResult) error {
+			agg.add(&tr)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("harness: resume replay: %w", err)
+		}
+	}
+
+	start := time.Now()
+	results := make(chan TrialResult, 2*workers)
+	poolDone := make(chan struct{})
+	states := make([]workerState, workers)
+	go func() {
+		defer close(results)
+		runPool(rangeCount-completed, workers, func(i, w int) {
+			select {
+			case <-poolDone:
+				return // consumer bailed on an emitter error
+			default:
+			}
+			if states[w].cache == nil {
+				states[w].cache = preparedCache{}
+			}
+			results <- runTrial(p, p.trials[rangeStart+completed+i], &states[w])
+		})
+	}()
+
+	// Single consumer: reorder to trial-index order, emit, aggregate.
+	// The reorder window is a power-of-two ring of small TrialResult
+	// records (see reorderRing).
+	var (
+		ring    = newReorderRing(2*workers, rangeStart+completed)
+		done    = completed
+		emitErr error
+	)
+	for tr := range results {
+		done++
+		if rc.Progress != nil {
+			rc.Progress(done, rangeCount)
+		}
+		ring.put(tr)
+		for {
+			next, ok := ring.take()
+			if !ok {
+				break
+			}
+			if emitErr == nil {
+				for _, em := range rc.Emitters {
+					if err := em.Trial(next); err != nil {
+						emitErr = err
+						close(poolDone)
+						break
+					}
+				}
+			}
+			agg.add(&next)
+		}
+	}
+	if emitErr != nil {
+		return nil, emitErr
+	}
+
+	rep := &Report{
+		Spec:    p.spec,
+		Total:   total,
+		Elapsed: time.Since(start),
+		Workers: workers,
+		graphs:  p.graphs,
+	}
+	// The consumer aggregates in trial-index order, so groups are already
+	// in deterministic expansion (graph-major) order.
+	agg.finish(rep)
 	for _, em := range rc.Emitters {
 		if err := em.End(rep); err != nil {
 			return nil, err

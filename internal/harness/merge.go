@@ -1,0 +1,274 @@
+package harness
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// IncompleteError reports that a set of shards does not cover the full
+// trial index space of the sweep. MergeShards returns it before writing
+// any emitter output, so a partial fleet run never produces a
+// plausible-looking but incomplete merged document. The missing ranges
+// are sorted and disjoint — a machine-readable work list for finishing
+// the sweep.
+type IncompleteError struct {
+	Total   int          `json:"total"`
+	Missing []TrialRange `json:"missing"`
+}
+
+func (e *IncompleteError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "harness: shards do not cover the sweep (%d trials); missing", e.Total)
+	for i, r := range e.Missing {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, " [%d,%d)", r.Start, r.Start+r.Count)
+	}
+	return sb.String()
+}
+
+// MergeConfig tunes MergeShards.
+type MergeConfig struct {
+	// Emitters receive every merged trial in absolute index order, then
+	// the synthesized report — exactly the stream a single-process Run
+	// would have produced. Pass NewBinaryEmitter (with the original
+	// checkpoint cadence) to obtain a merged binary byte-identical to an
+	// uninterrupted run.
+	Emitters []Emitter
+}
+
+// MergeShards reassembles shard files written by distributed workers into
+// the full sweep document. Shards may overlap (a retried unit re-runs a
+// prefix another attempt already made durable) and may be incomplete
+// (only the durable checkpoint prefix of each shard is trusted);
+// duplicate trial records are deduplicated by absolute trial index, and
+// every duplicate is verified byte-equal to the record it repeats — a
+// mismatch means the determinism contract broke and is an error, not a
+// silent choice. The merged emitter stream and report groups are
+// bit-identical to a single-process Run of the same spec, which is the
+// fleet coordinator's correctness bar (see docs/DISTRIBUTED.md).
+//
+// If the shards do not cover [0, total), MergeShards returns an
+// *IncompleteError naming the missing ranges before any emitter output.
+func MergeShards(spec Spec, paths []string, mc MergeConfig) (*Report, error) {
+	p, err := spec.compile()
+	if err != nil {
+		return nil, err
+	}
+	total := len(p.trials)
+	specJSON, err := json.Marshal(p.spec)
+	if err != nil {
+		return nil, err
+	}
+	wantHash := sweepSpecHash(specJSON, total)
+
+	// Inspect every shard first: durable prefix lengths bound how far each
+	// stream may be read, and coverage is checked before any output.
+	cks := make([]*SweepCheckpoint, 0, len(paths))
+	for _, path := range paths {
+		ck, err := InspectShard(path)
+		if err != nil {
+			return nil, err
+		}
+		if ck.specHash != wantHash {
+			return nil, fmt.Errorf("harness: %s: shard belongs to a different sweep (hash %016x, want %016x)",
+				path, ck.specHash, wantHash)
+		}
+		if ck.Completed > 0 {
+			cks = append(cks, ck)
+		}
+	}
+	if missing := coverageGaps(total, cks); len(missing) > 0 {
+		return nil, &IncompleteError{Total: total, Missing: missing}
+	}
+
+	streams := make([]*shardStream, 0, len(cks))
+	defer func() {
+		for _, s := range streams {
+			s.close()
+		}
+	}()
+	mh := make(mergeHeap, 0, len(cks))
+	for _, ck := range cks {
+		s, err := openShardStream(ck)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, s)
+		if err := s.next(); err != nil {
+			return nil, err
+		}
+		if s.ok {
+			mh = append(mh, s)
+		}
+	}
+	heap.Init(&mh)
+
+	start := time.Now()
+	for _, em := range mc.Emitters {
+		if err := em.Begin(p.spec, total); err != nil {
+			return nil, err
+		}
+	}
+	agg := newSweepAgg()
+	var prev TrialResult
+	want := 0
+	for mh.Len() > 0 {
+		s := mh[0]
+		tr := s.cur
+		if err := s.next(); err != nil {
+			return nil, err
+		}
+		if s.ok {
+			heap.Fix(&mh, 0)
+		} else {
+			heap.Pop(&mh)
+		}
+		switch {
+		case tr.Index == want:
+			for _, em := range mc.Emitters {
+				if err := em.Trial(tr); err != nil {
+					return nil, err
+				}
+			}
+			agg.add(&tr)
+			prev = tr
+			want++
+		case tr.Index == want-1:
+			// A re-run prefix duplicates trials another shard already
+			// provided; determinism says the bytes must agree.
+			if tr != prev {
+				return nil, fmt.Errorf("harness: shard %s: trial %d disagrees with an overlapping shard (determinism violation)",
+					s.path(), tr.Index)
+			}
+		default:
+			// Coverage was verified up front, so an index jump here means a
+			// shard lied about its range.
+			return nil, fmt.Errorf("harness: shard merge out of order at trial %d (want %d)", tr.Index, want)
+		}
+	}
+	if want != total {
+		return nil, fmt.Errorf("harness: shard merge produced %d of %d trials", want, total)
+	}
+
+	rep := &Report{
+		Spec:    p.spec,
+		Total:   total,
+		Elapsed: time.Since(start),
+		graphs:  p.graphs,
+	}
+	agg.finish(rep)
+	for _, em := range mc.Emitters {
+		if err := em.End(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// coverageGaps returns the sorted disjoint sub-ranges of [0, total) not
+// covered by any checkpoint's durable prefix [Start, Start+Completed).
+func coverageGaps(total int, cks []*SweepCheckpoint) []TrialRange {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, 0, len(cks))
+	for _, ck := range cks {
+		ivs = append(ivs, iv{ck.Start, ck.Start + ck.Completed})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var missing []TrialRange
+	at := 0
+	for _, v := range ivs {
+		if v.lo > at {
+			missing = append(missing, TrialRange{Start: at, Count: v.lo - at})
+			at = v.lo
+		}
+		if v.hi > at {
+			at = v.hi
+		}
+	}
+	if at < total {
+		missing = append(missing, TrialRange{Start: at, Count: total - at})
+	}
+	return missing
+}
+
+// shardStream sequentially decodes the durable trial prefix of one shard
+// file; cur holds the next undelivered trial (absolute index) while ok.
+type shardStream struct {
+	f     *os.File
+	br    *binReader
+	h     *binHeader
+	cells []binCell
+	local int // trials decoded so far (range-local)
+	limit int // durable prefix length from InspectShard
+	cur   TrialResult
+	ok    bool
+}
+
+func openShardStream(ck *SweepCheckpoint) (*shardStream, error) {
+	f, err := os.Open(ck.path)
+	if err != nil {
+		return nil, err
+	}
+	br := &binReader{r: bufio.NewReaderSize(f, 1<<16)}
+	h, err := readBinHeader(br)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &shardStream{f: f, br: br, h: h, limit: ck.Completed}, nil
+}
+
+func (s *shardStream) path() string { return s.f.Name() }
+
+func (s *shardStream) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// next advances to the following trial record, or sets ok=false when the
+// durable prefix is exhausted. Decode errors inside the durable prefix
+// are real errors — InspectShard already vouched for these bytes.
+func (s *shardStream) next() error {
+	s.ok = false
+	for s.local < s.limit {
+		tag, tr, _, _, err := readBinRecord(s.br, s.h, &s.cells, s.h.start+s.local)
+		if err != nil {
+			return fmt.Errorf("harness: %s: %w", s.path(), unexpectedEOF(err))
+		}
+		if tag == binTagTrial {
+			s.local++
+			s.cur = tr
+			s.ok = true
+			return nil
+		}
+	}
+	s.close()
+	return nil
+}
+
+// mergeHeap orders shard streams by the absolute index of their next
+// trial, so Pop order is global trial-index order with duplicates
+// adjacent.
+type mergeHeap []*shardStream
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].cur.Index < h[j].cur.Index }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(*shardStream)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

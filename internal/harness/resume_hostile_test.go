@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hostileFile writes data to a temp file and returns the path.
+func hostileFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// refBinaryFile produces an uninterrupted reference document plus the
+// byte offset just past the header's initial checkpoint.
+func refBinaryFile(t *testing.T) (refBytes []byte, headerEnd int) {
+	t.Helper()
+	spec := binarySpec()
+	_, refBytes, _ = runBinary(t, spec, 2, BinaryOptions{CheckpointEvery: 16})
+	specLen, n := binary.Uvarint(refBytes[len(binMagic):])
+	if n <= 0 {
+		t.Fatal("could not decode header spec length")
+	}
+	off := len(binMagic) + n + int(specLen)
+	_, n = binary.Uvarint(refBytes[off:])
+	off += n
+	_, n = binary.Uvarint(refBytes[off:])
+	off += n + 8
+	return refBytes, off + 10
+}
+
+// TestResumeBinaryTruncatedHeader: every truncation point inside the
+// header (magic, spec echo, counters, hash, initial checkpoint) must
+// produce a clean error from ResumeBinary and InspectBinary — never a
+// panic, never a checkpoint.
+func TestResumeBinaryTruncatedHeader(t *testing.T) {
+	refBytes, headerEnd := refBinaryFile(t)
+	for cut := 0; cut < headerEnd; cut++ {
+		path := hostileFile(t, "torn.ulsb", refBytes[:cut])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut=%d: panic: %v", cut, r)
+				}
+			}()
+			if _, _, err := ResumeBinary(path); err == nil {
+				t.Fatalf("cut=%d: ResumeBinary succeeded on a torn header", cut)
+			}
+			if _, err := InspectBinary(path); err == nil {
+				t.Fatalf("cut=%d: InspectBinary succeeded on a torn header", cut)
+			}
+		}()
+	}
+}
+
+// TestResumeBinaryZeroCheckpoints: a file whose header is intact but
+// whose initial checkpoint never landed has no durable prefix; resume
+// must refuse rather than re-run over unverifiable bytes.
+func TestResumeBinaryZeroCheckpoints(t *testing.T) {
+	refBytes, headerEnd := refBinaryFile(t)
+	headerOnly := refBytes[:headerEnd-10] // strip the 10-byte initial checkpoint
+	path := hostileFile(t, "no-ckpt.ulsb", headerOnly)
+	if _, _, err := ResumeBinary(path); err == nil || !strings.Contains(err.Error(), "no durable checkpoint") {
+		t.Fatalf("ResumeBinary without any checkpoint = %v, want no-durable-checkpoint error", err)
+	}
+
+	// Same header followed by trial records but still no checkpoint record:
+	// the trials are not durable and must not be silently trusted.
+	var rest []byte
+	rest = append(rest, headerOnly...)
+	rest = append(rest, refBytes[headerEnd:headerEnd+40]...) // some record bytes, no checkpoint
+	path = hostileFile(t, "no-ckpt-trials.ulsb", rest)
+	if _, _, err := ResumeBinary(path); err == nil {
+		t.Fatal("ResumeBinary with records but no checkpoint succeeded, want error")
+	}
+}
+
+// TestResumeBinaryCheckpointBeyondTrials: a forged checkpoint claiming
+// more completed trials than records actually precede it (with a valid
+// hash, so only the count cross-check can catch it) must not cause
+// trials to be invented or silently dropped — the checkpoint is
+// distrusted and resume falls back to the last consistent one.
+func TestResumeBinaryCheckpointBeyondTrials(t *testing.T) {
+	refBytes, headerEnd := refBinaryFile(t)
+	h, err := InspectBinary(hostileFile(t, "ref.ulsb", refBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Header + initial checkpoint, then a forged checkpoint claiming 5
+	// trials completed with a correctly-salted hash.
+	forged := append([]byte{}, refBytes[:headerEnd]...)
+	forged = append(forged, binTagCheckpoint)
+	forged = binary.AppendUvarint(forged, 5)
+	forged = binary.LittleEndian.AppendUint64(forged, checkpointHash(h.specHash, 5))
+	path := hostileFile(t, "forged.ulsb", forged)
+
+	ck, err := InspectBinary(path)
+	if err != nil {
+		t.Fatalf("InspectBinary: %v", err)
+	}
+	if ck.Completed != 0 {
+		t.Fatalf("forged checkpoint trusted: Completed = %d, want 0", ck.Completed)
+	}
+	ck2, _, err := ResumeBinary(path)
+	if err != nil {
+		t.Fatalf("ResumeBinary: %v", err)
+	}
+	if ck2.Completed != 0 {
+		t.Fatalf("resume from forged checkpoint: Completed = %d, want 0", ck2.Completed)
+	}
+
+	// The strict decoders must reject the same inconsistency outright.
+	if _, err := ParseBinary(forged); err == nil {
+		t.Fatal("ParseBinary accepted checkpoint count beyond trials present")
+	}
+}
+
+// TestResumeShardHostileHeader runs the same header-truncation sweep over
+// the shard variant (its header has two extra varints to tear inside).
+func TestResumeShardHostileHeader(t *testing.T) {
+	spec := binarySpec()
+	total := spec.NumTrials()
+	dir := t.TempDir()
+	refPath := writeShard(t, dir, spec, TrialRange{Start: 3, Count: total / 2}, BinaryOptions{CheckpointEvery: 8})
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shard header is at most magic+5 varints+hash+spec echo; tearing
+	// every offset in the first 120 bytes covers it for this spec.
+	limit := 120
+	if limit > len(refBytes) {
+		limit = len(refBytes)
+	}
+	for cut := 0; cut < limit; cut++ {
+		path := hostileFile(t, "torn.ulss", refBytes[:cut])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut=%d: panic: %v", cut, r)
+				}
+			}()
+			_, _, _ = ResumeShard(path)
+		}()
+	}
+}

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// partitionRanges slices [0, total) into parts near-equal contiguous
+// ranges (the same split the fleet coordinator's unit planner uses for a
+// given unit size).
+func partitionRanges(total, parts int) []TrialRange {
+	var out []TrialRange
+	for i := 0; i < parts; i++ {
+		start := i * total / parts
+		end := (i + 1) * total / parts
+		if end > start {
+			out = append(out, TrialRange{Start: start, Count: end - start})
+		}
+	}
+	return out
+}
+
+// writeShard runs one contiguous range of spec into a shard file and
+// returns its path.
+func writeShard(t *testing.T, dir string, spec Spec, r TrialRange, opt BinaryOptions) string {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("shard-%d-%d.ulss", r.Start, r.Count))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(spec, RunConfig{
+		Workers:  2,
+		Emitters: []Emitter{NewShardEmitter(f, r.Start, r.Count, opt)},
+		Range:    &r,
+	})
+	if err != nil {
+		t.Fatalf("shard [%d,%d): Run: %v", r.Start, r.Start+r.Count, err)
+	}
+	return path
+}
+
+// mergeToBytes merges shards through binary+JSON emitters.
+func mergeToBytes(t *testing.T, spec Spec, paths []string, opt BinaryOptions) (binDoc, jsonDoc []byte, rep *Report) {
+	t.Helper()
+	var bb, jb bytes.Buffer
+	rep, err := MergeShards(spec, paths, MergeConfig{
+		Emitters: []Emitter{NewBinaryEmitter(&bb, opt), NewJSONEmitter(&jb)},
+	})
+	if err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	return bb.Bytes(), jb.Bytes(), rep
+}
+
+// TestShardMergeByteIdentical is the core distributed-determinism
+// contract: any partition of the sweep into shard files merges back into
+// the exact bytes (binary and JSON) a single-process run produces.
+func TestShardMergeByteIdentical(t *testing.T) {
+	spec := binarySpec()
+	opt := BinaryOptions{CheckpointEvery: 16}
+	refJSON, refBin, refRep := runBinary(t, spec, 4, opt)
+	total := spec.NumTrials()
+
+	for _, parts := range []int{1, 2, 3, 5} {
+		dir := t.TempDir()
+		var paths []string
+		for _, r := range partitionRanges(total, parts) {
+			paths = append(paths, writeShard(t, dir, spec, r, opt))
+		}
+		binDoc, jsonDoc, rep := mergeToBytes(t, spec, paths, opt)
+		if !bytes.Equal(binDoc, refBin) {
+			t.Fatalf("parts=%d: merged binary differs from single-process run (%d vs %d bytes)", parts, len(binDoc), len(refBin))
+		}
+		if !bytes.Equal(jsonDoc, refJSON) {
+			t.Fatalf("parts=%d: merged JSON differs from single-process run", parts)
+		}
+		if !reflect.DeepEqual(rep.Groups, refRep.Groups) || rep.Errors != refRep.Errors {
+			t.Fatalf("parts=%d: merged report differs from single-process run", parts)
+		}
+	}
+}
+
+// TestShardKillAndResume mirrors TestBinaryKillAndResume for the shard
+// format: a shard truncated at an arbitrary byte resumes from its last
+// durable checkpoint and finishes byte-identical to the uninterrupted
+// shard file.
+func TestShardKillAndResume(t *testing.T) {
+	spec := binarySpec()
+	opt := BinaryOptions{CheckpointEvery: 8}
+	total := spec.NumTrials()
+	r := TrialRange{Start: total / 3, Count: total / 2}
+
+	dir := t.TempDir()
+	refPath := writeShard(t, dir, spec, r, opt)
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{len(refBytes) / 3, len(refBytes) * 4 / 5, len(refBytes) - 1} {
+		killed := filepath.Join(dir, "killed.ulss")
+		if err := os.WriteFile(killed, refBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, em, err := ResumeShard(killed)
+		if err != nil {
+			t.Fatalf("cut=%d: ResumeShard: %v", cut, err)
+		}
+		if ck.Start != r.Start || ck.Count != r.Count {
+			t.Fatalf("cut=%d: checkpoint range [%d,%d), want [%d,%d)", cut, ck.Start, ck.Start+ck.Count, r.Start, r.Start+r.Count)
+		}
+		if _, err := Run(spec, RunConfig{
+			Workers:  2,
+			Resume:   ck,
+			Range:    &r,
+			Emitters: []Emitter{em},
+		}); err != nil {
+			t.Fatalf("cut=%d: resumed Run: %v", cut, err)
+		}
+		resumed, err := os.ReadFile(killed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resumed, refBytes) {
+			t.Fatalf("cut=%d (resumed from %d local trials): shard differs from uninterrupted (%d vs %d bytes)",
+				cut, ck.Completed, len(resumed), len(refBytes))
+		}
+	}
+
+	// Resuming a complete shard reports ErrSweepComplete.
+	if _, _, err := ResumeShard(refPath); !errors.Is(err, ErrSweepComplete) {
+		t.Fatalf("ResumeShard on complete shard = %v, want ErrSweepComplete", err)
+	}
+	// Range mismatch between checkpoint and run is rejected.
+	killed := filepath.Join(dir, "mismatch.ulss")
+	if err := os.WriteFile(killed, refBytes[:len(refBytes)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, em, err := ResumeShard(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := TrialRange{Start: r.Start + 1, Count: r.Count}
+	if _, err := Run(spec, RunConfig{Resume: ck, Range: &wrong, Emitters: []Emitter{em}}); err == nil {
+		t.Fatal("resume with mismatched range succeeded, want error")
+	}
+}
+
+// TestShardMergeOverlapDedup: a stale partial shard left behind by a
+// revoked lease overlaps the range a fresh attempt re-ran in full; merge
+// deduplicates by absolute index and still reproduces the reference
+// bytes.
+func TestShardMergeOverlapDedup(t *testing.T) {
+	spec := binarySpec()
+	opt := BinaryOptions{CheckpointEvery: 8}
+	refJSON, refBin, _ := runBinary(t, spec, 4, opt)
+	total := spec.NumTrials()
+
+	dir := t.TempDir()
+	half := total / 2
+	paths := []string{
+		writeShard(t, dir, spec, TrialRange{Start: 0, Count: half}, opt),
+		writeShard(t, dir, spec, TrialRange{Start: half, Count: total - half}, opt),
+	}
+	// The stale attempt: covers part of shard 0's range, truncated to a
+	// durable prefix mid-way (as a revoked lease would leave it).
+	stalePath := writeShard(t, dir, spec, TrialRange{Start: half / 4, Count: half / 2}, opt)
+	stale, err := os.ReadFile(stalePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stalePath, stale[:len(stale)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, stalePath)
+
+	binDoc, jsonDoc, _ := mergeToBytes(t, spec, paths, opt)
+	if !bytes.Equal(binDoc, refBin) {
+		t.Fatalf("merged binary with overlapping stale shard differs from reference")
+	}
+	if !bytes.Equal(jsonDoc, refJSON) {
+		t.Fatalf("merged JSON with overlapping stale shard differs from reference")
+	}
+}
+
+// TestShardMergeIncomplete: coverage gaps abort the merge with a
+// machine-readable list of missing ranges before any emitter output.
+func TestShardMergeIncomplete(t *testing.T) {
+	spec := binarySpec()
+	opt := BinaryOptions{CheckpointEvery: 16}
+	total := spec.NumTrials()
+	rs := partitionRanges(total, 4)
+
+	dir := t.TempDir()
+	// Drop the second quarter.
+	paths := []string{
+		writeShard(t, dir, spec, rs[0], opt),
+		writeShard(t, dir, spec, rs[2], opt),
+		writeShard(t, dir, spec, rs[3], opt),
+	}
+	var bb bytes.Buffer
+	_, err := MergeShards(spec, paths, MergeConfig{Emitters: []Emitter{NewBinaryEmitter(&bb, opt)}})
+	var inc *IncompleteError
+	if !errors.As(err, &inc) {
+		t.Fatalf("MergeShards on gappy shards = %v, want IncompleteError", err)
+	}
+	want := []TrialRange{{Start: rs[1].Start, Count: rs[1].Count}}
+	if !reflect.DeepEqual(inc.Missing, want) {
+		t.Fatalf("missing = %+v, want %+v", inc.Missing, want)
+	}
+	if bb.Len() != 0 {
+		t.Fatalf("incomplete merge wrote %d bytes of output, want none", bb.Len())
+	}
+}
+
+// TestShardMergeDetectsDivergence: an overlapping shard whose duplicate
+// records do not match byte-for-byte is a broken determinism contract,
+// surfaced as an error rather than silently picking one copy.
+func TestShardMergeDetectsDivergence(t *testing.T) {
+	spec := binarySpec()
+	opt := BinaryOptions{CheckpointEvery: 8}
+	_, refBin, _ := runBinary(t, spec, 4, opt)
+	total := spec.NumTrials()
+
+	doc, err := ParseBinary(refBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := []string{writeShard(t, dir, spec, TrialRange{Start: 0, Count: total}, opt)}
+
+	// Forge an overlapping shard whose trial 1 reports different numbers.
+	forged := filepath.Join(dir, "forged.ulss")
+	f, err := os.Create(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := NewShardEmitter(f, 0, 4, opt)
+	if err := em.Begin(spec, total); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		tr := doc.Trials[i]
+		if i == 1 {
+			tr.Messages += 7
+		}
+		if err := em.Trial(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := em.End(&Report{}); err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, forged)
+
+	var bb bytes.Buffer
+	if _, err := MergeShards(spec, paths, MergeConfig{Emitters: []Emitter{NewBinaryEmitter(&bb, opt)}}); err == nil {
+		t.Fatal("MergeShards with divergent duplicate succeeded, want determinism-violation error")
+	}
+}
+
+// TestShardFullDocumentCrossRejects: the inspect/resume entry points for
+// the two document kinds reject each other's files, and the full-document
+// decoders reject shards.
+func TestShardFullDocumentCrossRejects(t *testing.T) {
+	spec := binarySpec()
+	opt := BinaryOptions{CheckpointEvery: 16}
+	total := spec.NumTrials()
+	dir := t.TempDir()
+
+	shardPath := writeShard(t, dir, spec, TrialRange{Start: 0, Count: total / 2}, opt)
+	fullPath := filepath.Join(dir, "full.ulsb")
+	f, err := os.Create(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, RunConfig{Workers: 2, Emitters: []Emitter{NewBinaryEmitter(f, opt)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := InspectBinary(shardPath); err == nil {
+		t.Fatal("InspectBinary accepted a shard file")
+	}
+	if _, err := InspectShard(fullPath); err == nil {
+		t.Fatal("InspectShard accepted a full document")
+	}
+	shardBytes, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBinary(shardBytes); err == nil {
+		t.Fatal("ParseBinary accepted a shard file")
+	}
+	if err := ExportJSON(bytes.NewReader(shardBytes), &bytes.Buffer{}); err == nil {
+		t.Fatal("ExportJSON accepted a shard file")
+	}
+	// A shard of a different sweep (same shape, different seed) must be
+	// rejected by merge via the spec hash.
+	other := spec
+	other.Seed++
+	foreign := writeShard(t, dir, spec, TrialRange{Start: total / 2, Count: total - total/2}, opt)
+	if _, err := MergeShards(other, []string{shardPath, foreign}, MergeConfig{}); err == nil {
+		t.Fatal("MergeShards accepted shards from a different sweep")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"ule/internal/harness"
@@ -72,10 +73,18 @@ func marshalJSON(v any) []byte {
 	return b
 }
 
+// RetryAfterSeconds is the Retry-After hint attached to every 503: long
+// enough that a full job table has likely made progress, short enough
+// that a drained slot is picked up quickly. Well-behaved clients (the
+// examples/service client, the fleet coordinator) back off at least this
+// long instead of hot-looping on a saturated server.
+const RetryAfterSeconds = 1
+
 // writeError maps a service error to its HTTP status: RequestError → 400,
 // ErrNotFound → 404, ErrShutdown/ErrBusy → 503, anything else → 500. The
 // error text carries the offending token (parsers quote it), so a client
-// sees exactly which part of the request was rejected.
+// sees exactly which part of the request was rejected. 503s carry a
+// Retry-After header so clients back off instead of hot-looping.
 func writeError(w http.ResponseWriter, err error) {
 	var reqErr *RequestError
 	code := http.StatusInternalServerError
@@ -86,6 +95,7 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrShutdown), errors.Is(err, ErrBusy):
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
@@ -220,6 +230,7 @@ func (m *Manager) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if err := m.checkOpen(); err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		writeJSON(w, http.StatusServiceUnavailable, struct {
 			Status string `json:"status"`
 		}{"draining"})

@@ -496,3 +496,52 @@ func TestArenaReuse(t *testing.T) {
 		t.Fatalf("prepared cache: %d hits / %d misses over 8 identical requests, want 7 / 1", hits, misses)
 	}
 }
+
+// TestRetryAfterOn503: every 503 (busy job table, draining server,
+// draining healthz) carries a Retry-After header so clients back off
+// instead of hot-looping; non-503 errors carry none.
+func TestRetryAfterOn503(t *testing.T) {
+	// The two writeError 503 sources, pinned directly.
+	for _, err := range []error{ErrBusy, ErrShutdown} {
+		rec := httptest.NewRecorder()
+		writeError(rec, err)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("writeError(%v) status = %d, want 503", err, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != fmt.Sprint(RetryAfterSeconds) {
+			t.Fatalf("writeError(%v) Retry-After = %q, want %d", err, got, RetryAfterSeconds)
+		}
+	}
+	rec := httptest.NewRecorder()
+	writeError(rec, badRequest("nope"))
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatalf("400 response carries Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+
+	// End to end: a draining server 503s with the header on both the API
+	// and healthz paths.
+	m := NewManager(Config{Slots: 1})
+	ts := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/elections", "application/json", strings.NewReader(`{"graph":"ring:8","algo":"leastel"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining election: status %d Retry-After %q, want 503 with header", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining healthz: status %d Retry-After %q, want 503 with header", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
